@@ -1,0 +1,58 @@
+"""Ablation benches: alpha, CWmin, buffers, virtual length, scaling."""
+
+import pytest
+
+from repro.experiments import (
+    alpha_sweep,
+    buffer_sweep,
+    cwmin_sweep,
+    scaling_study,
+    virtual_length_ablation,
+)
+
+
+def test_bench_alpha_sweep(once, capsys):
+    sweep = once(alpha_sweep, alphas=(0.0, 0.005, 0.02),
+                 duration=5.0)
+    with capsys.disabled():
+        print("\n" + sweep.render())
+    adherence = dict(zip([p.parameter for p in sweep.points],
+                         sweep.series("share_adherence")))
+    # Tag feedback (alpha > 0) must improve share adherence over none.
+    assert adherence[0.005] > adherence[0.0]
+
+
+def test_bench_cwmin_sweep(once, capsys):
+    sweep = once(cwmin_sweep, cwmins=(15, 31, 63), duration=5.0)
+    with capsys.disabled():
+        print("\n" + sweep.render())
+    for p in sweep.points:
+        assert p.values["tpa_loss_ratio"] < p.values["dcf_loss_ratio"]
+
+
+def test_bench_buffer_sweep(once, capsys):
+    sweep = once(buffer_sweep, capacities=(10, 50), duration=5.0)
+    with capsys.disabled():
+        print("\n" + sweep.render())
+    for p in sweep.points:
+        # Equal-per-hop shares keep relay losses far below two-tier's at
+        # every buffer size.
+        assert p.values["tpa_lost"] < 0.2 * max(
+            p.values["two_tier_lost"], 1.0
+        )
+
+
+def test_bench_virtual_length_ablation(benchmark, capsys):
+    sweep = benchmark(virtual_length_ablation)
+    with capsys.disabled():
+        print("\n" + sweep.render())
+    for p in sweep.points:
+        assert p.values["basic_share"] >= p.values["naive_share"] - 1e-9
+
+
+def test_bench_scaling_study(once, capsys):
+    sweep = once(scaling_study, sizes=(10, 16, 22))
+    with capsys.disabled():
+        print("\n" + sweep.render())
+    for p in sweep.points:
+        assert p.values["centralized_basic_ok"] == 1.0

@@ -1,0 +1,51 @@
+"""Fig. 1 / Sec. III worked comparison (analytic).
+
+Regenerates the allocation strategies the paper derives on the Fig. 1
+topology: basic shares, the fairness-constrained allocation, the basic
+fairness LP optimum, and the two-tier single-hop optimum — and checks the
+headline numbers (3B/4 vs 5B/8 effective; 3B/2 vs 7B/4 single-hop).
+"""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_fairness_lp_allocation,
+    fairness_constrained_allocation,
+    single_hop_optimal_allocation,
+    total_single_hop_throughput,
+)
+from repro.scenarios import fig1
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return ContentionAnalysis(fig1.make_scenario())
+
+
+def test_bench_fig1_lp_allocation(benchmark, analysis):
+    alloc = benchmark(basic_fairness_lp_allocation, analysis)
+    assert alloc.share("1") == pytest.approx(0.5)
+    assert alloc.share("2") == pytest.approx(0.25)
+    print("\nFig.1 2PA allocation:", alloc.normalized(),
+          "paper:", fig1.PAPER_BASIC_FAIRNESS_ALLOCATION)
+
+
+def test_bench_fig1_fairness_allocation(benchmark, analysis):
+    alloc = benchmark(fairness_constrained_allocation, analysis)
+    assert alloc.total_effective_throughput == pytest.approx(2 / 3)
+    print("\nFig.1 fairness-constrained:", alloc.normalized(),
+          "paper:", fig1.PAPER_FAIRNESS_ALLOCATION)
+
+
+def test_bench_fig1_two_tier_allocation(benchmark, analysis):
+    alloc = benchmark(single_hop_optimal_allocation, analysis)
+    assert total_single_hop_throughput(alloc) == pytest.approx(
+        1.75, abs=1e-4
+    )
+    assert alloc.total_effective_throughput == pytest.approx(
+        0.625, abs=1e-4
+    )
+    print("\nFig.1 two-tier subflows:",
+          {str(k): round(v, 4) for k, v in alloc.subflow_shares.items()},
+          "paper:", fig1.PAPER_TWO_TIER_SUBFLOWS)

@@ -1,0 +1,31 @@
+"""Fig. 2: fairness in the single-hop vs multi-hop case (analytic)."""
+
+import pytest
+
+from repro.core import ContentionAnalysis, basic_fairness_lp_allocation, \
+    fairness_constrained_allocation
+from repro.scenarios import fig2
+
+
+def test_bench_fig2a_single_hop(benchmark):
+    analysis = ContentionAnalysis(fig2.make_single_hop_scenario())
+    alloc = benchmark(fairness_constrained_allocation, analysis)
+    assert alloc.shares == pytest.approx(fig2.PAPER_SINGLE_HOP)
+    print("\nFig.2(a):", alloc.normalized(), "paper:",
+          fig2.PAPER_SINGLE_HOP)
+
+
+def test_bench_fig2b_unfair_strawman(benchmark):
+    scenario = fig2.make_multi_hop_scenario()
+    unfair = benchmark(fig2.unfair_time_share_allocation, scenario)
+    assert unfair == pytest.approx(fig2.PAPER_UNFAIR_THROUGHPUT)
+    print("\nFig.2(b) end-to-end:", unfair, "paper:",
+          fig2.PAPER_UNFAIR_THROUGHPUT)
+
+
+def test_bench_fig2c_fair_multi_hop(benchmark):
+    analysis = ContentionAnalysis(fig2.make_multi_hop_scenario())
+    alloc = benchmark(basic_fairness_lp_allocation, analysis)
+    assert alloc.shares == pytest.approx(fig2.PAPER_FAIR_SHARES)
+    print("\nFig.2(c):", alloc.normalized(), "paper:",
+          fig2.PAPER_FAIR_SHARES)

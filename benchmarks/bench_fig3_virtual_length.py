@@ -1,0 +1,35 @@
+"""Fig. 3: the virtual-length 3-coloring (analytic)."""
+
+import pytest
+
+from repro.graphs import (
+    chain_coloring,
+    chain_contention_graph,
+    color_classes,
+    is_proper_coloring,
+    maximal_cliques,
+    num_colors,
+)
+from repro.scenarios import fig3
+
+
+def test_bench_fig3_coloring(benchmark):
+    coloring = benchmark(chain_coloring, 6)
+    classes = [sorted(j + 1 for j in c) for c in color_classes(coloring)]
+    assert classes == fig3.PAPER_COLOR_CLASSES
+    assert is_proper_coloring(chain_contention_graph(6), coloring)
+    print("\nFig.3 color classes:", classes, "paper:",
+          fig3.PAPER_COLOR_CLASSES)
+
+
+def test_bench_fig3_chain_cliques(benchmark):
+    graph = chain_contention_graph(12)
+    cliques = benchmark(maximal_cliques, graph)
+    assert all(len(c) == 3 for c in cliques)
+    print("\n12-hop chain: ", len(cliques),
+          "maximal cliques, all consecutive triples")
+
+
+def test_bench_fig3_long_chain_coloring_scales(benchmark):
+    coloring = benchmark(chain_coloring, 500)
+    assert num_colors(coloring) == 3

@@ -1,0 +1,19 @@
+"""Fig. 4 / Sec. IV-C: weighted contention graph LP (analytic)."""
+
+import pytest
+
+from repro.core import basic_fairness_lp_allocation
+from repro.scenarios import fig4
+
+
+def test_bench_fig4_allocation(benchmark):
+    analysis = fig4.make_analysis()
+    alloc = benchmark(basic_fairness_lp_allocation, analysis)
+    for fid, expected in fig4.PAPER_ALLOCATION.items():
+        assert alloc.share(fid) == pytest.approx(expected, abs=1e-6)
+    subflow_shares = {
+        str(s.sid): round(alloc.share(s.flow_id), 4)
+        for s in analysis.scenario.all_subflows()
+    }
+    print("\nFig.4 allocated shares:", subflow_shares,
+          "(paper: 3B/10, B/5, B/5, 3B/10, 7B/10)")

@@ -1,0 +1,41 @@
+"""Fig. 5: the pentagon's unachievable clique bound (analytic)."""
+
+import pytest
+
+from repro.core import (
+    basic_fairness_lp_allocation,
+    check_allocation_schedulability,
+    fairness_upper_bound,
+)
+from repro.scenarios import fig5
+
+
+def test_bench_fig5_bound(benchmark):
+    analysis = fig5.make_analysis()
+    bound = benchmark(fairness_upper_bound, analysis)
+    assert bound.total_effective_throughput == pytest.approx(2.5)
+    print("\nFig.5 Prop.1 bound: B/2 per flow, total",
+          bound.total_effective_throughput, "B (unachievable)")
+
+
+def test_bench_fig5_schedulability(benchmark):
+    analysis = fig5.make_analysis()
+    alloc = basic_fairness_lp_allocation(analysis)
+    report = benchmark(
+        check_allocation_schedulability, analysis, alloc.shares
+    )
+    assert not report.feasible
+    assert report.schedule_length == pytest.approx(1.25, abs=1e-6)
+    print("\nFig.5 fractional schedule length:",
+          round(report.schedule_length, 4), "(> 1: infeasible, paper: 5/4)")
+
+
+def test_bench_fig5_achievable_uniform(benchmark):
+    analysis = fig5.make_analysis()
+    shares = {str(i): fig5.ACHIEVABLE_UNIFORM_SHARE for i in range(1, 6)}
+    report = benchmark(
+        check_allocation_schedulability, analysis, shares
+    )
+    assert report.feasible
+    print("\nFig.5 uniform 2B/5 is schedulable at length",
+          round(report.schedule_length, 4))

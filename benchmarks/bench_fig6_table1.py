@@ -1,0 +1,37 @@
+"""Fig. 6 + Table I: centralized vs distributed phase-1 (analytic)."""
+
+import pytest
+
+from repro.core import run_centralized, run_distributed
+from repro.experiments import run_table1
+from repro.scenarios import fig6
+
+
+def test_bench_fig6_centralized(benchmark):
+    alloc = benchmark(run_centralized, fig6.make_scenario())
+    for fid, expected in fig6.PAPER_CENTRALIZED.items():
+        assert alloc.share(fid) == pytest.approx(expected, abs=1e-6)
+    print("\nFig.6 2PA-C:", {k: round(v, 4) for k, v in
+                             alloc.shares.items()},
+          "paper:", fig6.PAPER_CENTRALIZED)
+
+
+def test_bench_fig6_distributed(benchmark):
+    alloc = benchmark(run_distributed, fig6.make_scenario())
+    for fid, expected in fig6.OUR_DISTRIBUTED.items():
+        assert alloc.share(fid) == pytest.approx(expected, abs=1e-5)
+    print("\nFig.6 2PA-D:", {k: round(v, 4) for k, v in
+                             alloc.shares.items()},
+          "paper:", fig6.PAPER_DISTRIBUTED,
+          "(F5 deviation documented in DESIGN.md)")
+
+
+def test_bench_table1_report(benchmark):
+    report = benchmark(run_table1)
+    print("\n" + report.render())
+    for node, expected in fig6.TABLE1_LOCAL_SOLUTIONS.items():
+        row = next(r for r in report.rows if r.source == node)
+        for fid, value in expected.items():
+            assert row.local_solution[f"r_{fid}"] == pytest.approx(
+                value, abs=1e-5
+            )

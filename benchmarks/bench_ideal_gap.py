@@ -1,0 +1,53 @@
+"""The ideal gap: fluid bound vs TDMA vs the CSMA systems (Fig. 1).
+
+Quantifies where throughput goes: the fluid bound is pure allocation
+math; ideal TDMA pays only DATA-frame overhead; 2PA additionally pays
+random access (DIFS, backoff, RTS/CTS, collisions); 802.11 additionally
+pays unfairness.  This extends the paper's evaluation with the explicit
+"estimation algorithm as upper bound" comparison Sec. III motivates.
+"""
+
+import pytest
+
+from repro.core import ContentionAnalysis, basic_fairness_lp_allocation
+from repro.sched import build_2pa, build_80211, build_tdma
+from repro.sched.fluid import fluid_prediction
+from repro.scenarios import fig1
+
+DURATION = 10.0
+
+
+def test_bench_ideal_gap(once, capsys):
+    scenario = fig1.make_scenario()
+    analysis = ContentionAnalysis(scenario)
+    allocation = basic_fairness_lp_allocation(analysis)
+
+    def run_all():
+        fluid = fluid_prediction(analysis, allocation, DURATION)
+        tdma = build_tdma(scenario).run(DURATION)
+        tpa = build_2pa(scenario, "centralized", seed=1,
+                        analysis=analysis).run.run(DURATION)
+        dcf = build_80211(scenario, seed=1).run.run(DURATION)
+        return fluid, tdma, tpa, dcf
+
+    fluid, tdma, tpa, dcf = once(run_all)
+    rows = {
+        "fluid bound": fluid.total_packets,
+        "ideal TDMA": float(tdma.total_effective_throughput_packets()),
+        "2PA (CSMA)": float(tpa.total_effective_throughput_packets()),
+        "802.11": float(dcf.total_effective_throughput_packets()),
+    }
+    with capsys.disabled():
+        print(f"\nTotal effective throughput over {DURATION:g} s (pkts):")
+        for name, value in rows.items():
+            print(f"  {name:12s} {value:10.0f}")
+        print(f"  TDMA/fluid   {rows['ideal TDMA'] / rows['fluid bound']:.2f}"
+              f"   2PA/TDMA {rows['2PA (CSMA)'] / rows['ideal TDMA']:.2f}")
+    # The ladder must be strictly ordered.
+    assert rows["fluid bound"] > rows["ideal TDMA"]
+    assert rows["ideal TDMA"] > rows["2PA (CSMA)"]
+    assert rows["2PA (CSMA)"] > rows["802.11"]
+    # And TDMA/2PA lose (almost) nothing while 802.11 bleeds packets.
+    assert tdma.total_lost_packets() == 0
+    assert tpa.loss_ratio() < 0.05
+    assert dcf.loss_ratio() > 0.5

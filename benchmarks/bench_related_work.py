@@ -1,0 +1,38 @@
+"""Related-work ladder on Fig. 1: 802.11 -> two-tier -> maxmin -> 2PA.
+
+Extends Table II with the max-min baseline of the paper's ref. [5]
+(Huang & Bensaou).  Each rung fixes one pathology of the previous:
+
+* 802.11: no allocation at all — the middle subflow starves;
+* two-tier: per-subflow basic shares + single-hop throughput max — the
+  upstream/downstream imbalance (3:1) overflows the relay;
+* maxmin: per-subflow max-min — milder imbalance (2:1), still lossy;
+* 2PA: equal-per-hop end-to-end shares — balanced, near-zero loss,
+  highest total effective throughput.
+"""
+
+import pytest
+
+from repro.experiments import run_table
+from repro.scenarios import fig1
+
+DURATION = 12.0
+
+
+def test_bench_related_work_ladder(once, capsys):
+    table = once(
+        run_table, fig1.make_scenario(), "related work",
+        ["802.11", "two-tier", "maxmin", "2PA-C"], DURATION, 1,
+    )
+    with capsys.disabled():
+        print("\n" + table.render())
+    totals = {r.system: r.total_effective for r in table.results}
+    losses = {r.system: r.loss_ratio for r in table.results}
+    # Total effective throughput improves monotonically up the ladder.
+    assert totals["802.11"] <= totals["two-tier"] * 1.05
+    assert totals["two-tier"] < totals["maxmin"]
+    assert totals["maxmin"] < totals["2PA-C"]
+    # Loss ratio improves monotonically too.
+    assert losses["802.11"] > losses["two-tier"]
+    assert losses["two-tier"] > losses["maxmin"]
+    assert losses["maxmin"] > 5 * losses["2PA-C"]

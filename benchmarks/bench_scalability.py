@@ -1,0 +1,93 @@
+"""Scalability benches for the algorithmic core and the simulator.
+
+Not tied to a specific paper figure; these quantify where the
+reproduction's own costs lie (clique enumeration, LP solves, event
+throughput) as networks grow — the operational questions a user of the
+library will ask.
+"""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_fairness_lp_allocation,
+    run_distributed,
+)
+from repro.lp import LinearProgram, solve_simplex
+from repro.scenarios import make_random_scenario
+from repro.sched import build_2pa
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize("nodes,flows", [(15, 4), (30, 8)])
+def test_bench_contention_plus_lp(benchmark, nodes, flows):
+    scenario = make_random_scenario(num_nodes=nodes, num_flows=flows,
+                                    seed=3, max_hops=5)
+
+    def pipeline():
+        analysis = ContentionAnalysis(scenario)
+        return basic_fairness_lp_allocation(analysis)
+
+    alloc = benchmark(pipeline)
+    assert alloc.total_effective_throughput > 0
+
+
+def test_bench_distributed_phase1(benchmark):
+    scenario = make_random_scenario(num_nodes=20, num_flows=5, seed=4,
+                                    max_hops=5)
+    result = benchmark(run_distributed, scenario)
+    assert all(v > 0 for v in result.shares.values())
+
+
+def test_bench_simplex_mid_size(benchmark):
+    """A 40-variable, 60-constraint allocation-style LP."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    lp = LinearProgram()
+    names = [f"r{i}" for i in range(40)]
+    lp.maximize({v: 1.0 for v in names})
+    for _ in range(60):
+        support = rng.random(40) < 0.2
+        if not support.any():
+            support[0] = True
+        lp.add_constraint(
+            {names[i]: float(rng.integers(1, 4))
+             for i in range(40) if support[i]},
+            float(rng.uniform(1, 4)),
+        )
+    for v in names:
+        lp.set_lower_bound(v, 0.01)
+    sol = benchmark(solve_simplex, lp)
+    assert sol.is_optimal
+
+
+def test_bench_event_engine_throughput(benchmark):
+    """Raw event-loop speed: 100k self-rescheduling events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_bench_simulation_second(once):
+    """Wall time to simulate 1 s of the Fig. 6 scenario under 2PA."""
+    from repro.scenarios import fig6
+
+    def run():
+        build = build_2pa(fig6.make_scenario(), "centralized", seed=1)
+        return build.run.run(seconds=1.0)
+
+    metrics = once(run)
+    assert metrics.total_effective_throughput_packets() > 100

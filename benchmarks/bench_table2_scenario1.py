@@ -1,0 +1,54 @@
+"""Table II: the scenario-1 simulation (Fig. 1 topology).
+
+Simulates 802.11, two-tier and 2PA for a scaled-down session and prints
+the table in the paper's format.  Shape claims asserted:
+
+* 2PA's subflow ratios track its allocated shares (1/2 : 1/2 : 1/4 : 1/4);
+* 802.11 starves the middle subflow F1.2;
+* 2PA achieves the highest total effective throughput;
+* loss ratios order 2PA << two-tier, 802.11 (paper: 0.004 / 0.045 / 0.132).
+"""
+
+import pytest
+
+from repro.experiments import run_table2
+
+DURATION = 20.0  # simulated seconds (paper: 1000 s in ns-2)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_table2(duration=DURATION, seed=1)
+
+
+def test_bench_table2(once, capsys):
+    table = once(run_table2, duration=DURATION, seed=1)
+    with capsys.disabled():
+        print("\n" + table.render())
+        print("paper Table II (1000 s): 802.11 / two-tier / 2PA")
+        print("  sum r_i T : 152485 / 126499 / 167488")
+        print("  loss ratio:  0.132 /  0.045 /  0.004")
+    tpa = table.column("2PA-C")
+    dcf = table.column("802.11")
+    two_tier = table.column("two-tier")
+    # 2PA tracks the allocated shares.
+    r11 = tpa.subflow_packets[_sid("1", 1)]
+    r12 = tpa.subflow_packets[_sid("1", 2)]
+    r21 = tpa.subflow_packets[_sid("2", 1)]
+    assert r11 / r12 == pytest.approx(1.0, rel=0.1)
+    assert r11 / r21 == pytest.approx(2.0, rel=0.25)
+    # 802.11 starves F1.2.
+    assert dcf.subflow_packets[_sid("1", 2)] < (
+        0.25 * dcf.subflow_packets[_sid("1", 1)]
+    )
+    # Orderings.
+    assert tpa.total_effective > dcf.total_effective
+    assert tpa.total_effective > two_tier.total_effective
+    assert tpa.loss_ratio < 0.1 * two_tier.loss_ratio
+    assert tpa.loss_ratio < 0.1 * dcf.loss_ratio
+
+
+def _sid(flow, hop):
+    from repro.core.model import SubflowId
+
+    return SubflowId(flow, hop)

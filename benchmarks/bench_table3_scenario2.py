@@ -1,0 +1,50 @@
+"""Table III: the scenario-2 simulation (Fig. 6 topology).
+
+Simulates 802.11, two-tier, 2PA-C and 2PA-D.  Shape claims asserted:
+
+* 2PA-C's flow throughputs track (1/3, 1/3, 2/3, 1/8, 3/4);
+* 2PA-D's track (1/3, 1/5, 1/4, 1/4, ·) and total below 2PA-C;
+* both 2PA variants lose almost nothing while 802.11 and two-tier lose
+  orders of magnitude more (paper loss ratios: 0.100 / 0.027 / 0.006 /
+  0.004);
+* 2PA-C beats two-tier on total effective throughput.
+"""
+
+import pytest
+
+from repro.experiments import run_table3
+
+DURATION = 20.0
+
+
+def test_bench_table3(once, capsys):
+    table = once(run_table3, duration=DURATION, seed=1)
+    with capsys.disabled():
+        print("\n" + table.render())
+        print("paper Table III (1000 s): 802.11 / two-tier / 2PA-C / 2PA-D")
+        print("  sum r_i T : 443204 / 394125 / 422162 / 352341")
+        print("  loss ratio:  0.100 /  0.027 /  0.006 /  0.004")
+    tpac = table.column("2PA-C")
+    tpad = table.column("2PA-D")
+    dcf = table.column("802.11")
+    two_tier = table.column("two-tier")
+
+    # 2PA-C tracks centralized shares (ratios vs flow 1).
+    u = tpac.flow_packets
+    assert u["2"] / u["1"] == pytest.approx(1.0, rel=0.2)
+    assert u["3"] / u["1"] == pytest.approx(2.0, rel=0.2)
+    assert u["4"] / u["1"] == pytest.approx(3 / 8, rel=0.3)
+    assert u["5"] / u["1"] == pytest.approx(9 / 4, rel=0.2)
+
+    # 2PA-D tracks its distributed shares.
+    v = tpad.flow_packets
+    assert v["2"] / v["1"] == pytest.approx(0.6, rel=0.25)
+    assert v["3"] / v["1"] == pytest.approx(0.75, rel=0.25)
+    assert v["4"] / v["1"] == pytest.approx(0.75, rel=0.25)
+
+    # Orderings as in the paper.
+    assert tpac.total_effective > two_tier.total_effective
+    assert tpac.total_effective > tpad.total_effective
+    assert tpac.loss_ratio < 0.25 * two_tier.loss_ratio
+    assert tpac.loss_ratio < 0.25 * dcf.loss_ratio
+    assert tpad.loss_ratio < 0.25 * dcf.loss_ratio

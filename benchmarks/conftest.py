@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows next to the paper's reference values, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the full
+reproduction report.  Simulation benches run one round (they simulate
+tens of seconds of channel time); analytic benches run normally.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Dynamic flow arrivals: re-allocating when the flow set changes.
+
+Flow 1 runs for the whole session; flow 2 joins at t = 5 s and leaves at
+t = 10 s.  At each membership change, phase 1 re-runs on the active flows
+and the new allocated shares are pushed into every node's phase-2
+scheduler — queued packets survive, virtual clocks resynchronize, and
+stale neighbor-table entries age out.
+
+Run:  python examples/dynamic_flows.py
+"""
+
+from repro.experiments import DynamicAllocationExperiment, FlowSchedule
+from repro.experiments.visualize import render_bars
+from repro.scenarios import fig1
+
+
+def main() -> None:
+    scenario = fig1.make_scenario()
+    experiment = DynamicAllocationExperiment(scenario, [
+        FlowSchedule("1", start=0.0),
+        FlowSchedule("2", start=5.0, end=10.0),
+    ], seed=3)
+
+    snapshots = experiment.run(seconds=15.0)
+
+    for snap in snapshots:
+        print(f"\n[{snap.start:g} .. {snap.end:g} s]  "
+              f"active flows: {snap.active_flows}")
+        print("  re-computed allocation:",
+              {k: round(v, 3) for k, v in snap.allocated.items()})
+        rates = {fid: snap.rate(fid) for fid in scenario.flow_ids}
+        print(render_bars(rates, "  measured rate (pkt/s)"))
+
+    print("\nTakeaways:")
+    alone = snapshots[0].rate("1")
+    shared = snapshots[1].rate("1")
+    recovered = snapshots[2].rate("1")
+    print(f"  flow 1: {alone:.0f} pkt/s alone -> {shared:.0f} while "
+          f"sharing -> {recovered:.0f} after flow 2 departs")
+    print(f"  total in-network losses: "
+          f"{experiment.metrics.total_lost_packets()} packets "
+          f"(re-allocation does not destabilize the schedulers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro: end-to-end fair bandwidth allocation in multi-hop ad hoc networks.
+
+A complete reproduction of Baochun Li, "End-to-End Fair Bandwidth
+Allocation in Multi-hop Wireless Ad Hoc Networks" (IEEE ICDCS 2005):
+the contention/fairness theory (Secs. II-III), the two-phase algorithm in
+centralized and distributed forms (Sec. IV), the IEEE 802.11 and two-tier
+baselines, and a from-scratch discrete-event wireless simulator that
+regenerates the paper's evaluation tables (Sec. V).
+
+Quickstart::
+
+    from repro import Flow, Network, Scenario, ContentionAnalysis
+    from repro import basic_fairness_lp_allocation
+
+    net = Network.from_positions({"A": (0, 0), "B": (200, 0),
+                                  "C": (400, 0)})
+    scenario = Scenario(net, [Flow("1", ["A", "B", "C"])])
+    shares = basic_fairness_lp_allocation(ContentionAnalysis(scenario))
+    print(shares.shares)
+"""
+
+from .core import (
+    AllocationResult,
+    CentralizedCoordinator,
+    ContentionAnalysis,
+    DistributedAllocator,
+    FairnessBound,
+    FeasibilityReport,
+    Flow,
+    Network,
+    Scenario,
+    Subflow,
+    SubflowId,
+    basic_allocation,
+    basic_fairness_lp_allocation,
+    basic_shares,
+    check_allocation_schedulability,
+    check_schedulability,
+    fairness_constrained_allocation,
+    feasible_fairness_allocation,
+    max_feasible_scaling,
+    fairness_upper_bound,
+    jain_index,
+    naive_allocation,
+    run_centralized,
+    run_distributed,
+    satisfies_basic_fairness,
+    satisfies_fairness_constraint,
+    single_hop_optimal_allocation,
+    subflow_contention_graph,
+    total_effective_throughput,
+    virtual_length,
+)
+from .sched import (
+    SimulationRun,
+    SystemBuild,
+    TrafficConfig,
+    build_2pa,
+    build_80211,
+    build_two_tier,
+)
+from .metrics import MetricsCollector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flow",
+    "Network",
+    "Scenario",
+    "Subflow",
+    "SubflowId",
+    "virtual_length",
+    "ContentionAnalysis",
+    "subflow_contention_graph",
+    "basic_shares",
+    "satisfies_fairness_constraint",
+    "satisfies_basic_fairness",
+    "total_effective_throughput",
+    "jain_index",
+    "FairnessBound",
+    "fairness_upper_bound",
+    "AllocationResult",
+    "naive_allocation",
+    "basic_allocation",
+    "fairness_constrained_allocation",
+    "feasible_fairness_allocation",
+    "feasible_fairness_allocation",
+    "basic_fairness_lp_allocation",
+    "single_hop_optimal_allocation",
+    "CentralizedCoordinator",
+    "run_centralized",
+    "DistributedAllocator",
+    "run_distributed",
+    "FeasibilityReport",
+    "check_schedulability",
+    "check_allocation_schedulability",
+    "max_feasible_scaling",
+    "SimulationRun",
+    "TrafficConfig",
+    "SystemBuild",
+    "build_80211",
+    "build_two_tier",
+    "build_2pa",
+    "MetricsCollector",
+    "__version__",
+]

@@ -1,0 +1,152 @@
+"""Command-line entry point: ``python -m repro`` or ``repro-experiments``.
+
+Subcommands::
+
+    examples              run all analytic worked examples (Figs. 1-5)
+    table1                Table I (distributed local LPs on Fig. 6)
+    table2 [--duration S] Table II simulation (Fig. 1 topology)
+    table3 [--duration S] Table III simulation (Fig. 6 topology)
+    ablation NAME         one of: alpha, cwmin, buffer, virtual-length,
+                          scaling
+    all                   everything above with default settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ALL_ABLATIONS,
+    build_report,
+    run_all,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce 'End-to-End Fair Bandwidth Allocation in Multi-hop "
+            "Wireless Ad Hoc Networks' (ICDCS 2005)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("examples", help="analytic worked examples")
+    sub.add_parser("table1", help="Table I: distributed local LPs")
+
+    for name, help_text in (
+        ("table2", "Table II simulation (scenario 1)"),
+        ("table3", "Table III simulation (scenario 2)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--duration", type=float, default=40.0,
+                       help="simulated seconds (default 40)")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("ablation", help="run one ablation study")
+    p.add_argument("name", choices=sorted(ALL_ABLATIONS))
+
+    p = sub.add_parser("show", help="render a scenario and its analysis")
+    p.add_argument("scenario", choices=[
+        "fig1", "fig2", "fig6", "cross", "star", "grid",
+        "parallel-chains", "pentagon",
+    ])
+
+    p = sub.add_parser("report", help="full reproduction report")
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-sim", action="store_true",
+                   help="skip the simulation tables (fast)")
+
+    p = sub.add_parser("all", help="run everything")
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "examples":
+        reports = run_all(verbose=True)
+        return 0 if all(r.matches() for r in reports) else 1
+    if args.command == "table1":
+        print(run_table1().render())
+        return 0
+    if args.command == "table2":
+        print(run_table2(duration=args.duration, seed=args.seed).render())
+        return 0
+    if args.command == "table3":
+        print(run_table3(duration=args.duration, seed=args.seed).render())
+        return 0
+    if args.command == "ablation":
+        print(ALL_ABLATIONS[args.name]().render())
+        return 0
+    if args.command == "show":
+        from .experiments import (
+            render_allocation_comparison,
+            render_contention_matrix,
+            render_topology,
+        )
+        from .core import (
+            ContentionAnalysis,
+            basic_allocation,
+            basic_fairness_lp_allocation,
+            maxmin_flow_allocation,
+            naive_allocation,
+        )
+        from . import scenarios as _scen
+
+        makers = {
+            "fig1": _scen.fig1.make_scenario,
+            "fig2": _scen.fig2.make_multi_hop_scenario,
+            "fig6": _scen.fig6.make_scenario,
+            "cross": _scen.cross,
+            "star": _scen.star,
+            "grid": _scen.grid_scenario,
+            "parallel-chains": _scen.parallel_chains,
+            "pentagon": lambda: _scen.fig5.make_scenario(),
+        }
+        scenario = makers[args.scenario]()
+        if args.scenario == "pentagon":
+            analysis = _scen.fig5.make_analysis()
+        else:
+            analysis = ContentionAnalysis(scenario)
+        print(render_topology(scenario))
+        print()
+        print(render_contention_matrix(analysis))
+        print()
+        allocations = {
+            "naive": naive_allocation(analysis).shares,
+            "basic": basic_allocation(analysis).shares,
+            "maxmin": maxmin_flow_allocation(analysis).shares,
+            "2PA LP": basic_fairness_lp_allocation(analysis).shares,
+        }
+        print(render_allocation_comparison(allocations,
+                                           scenario.flow_ids))
+        return 0
+    if args.command == "report":
+        report = build_report(
+            duration=args.duration, seed=args.seed,
+            include_simulations=not args.no_sim,
+        )
+        print(report.render())
+        return 0
+    if args.command == "all":
+        reports = run_all(verbose=True)
+        print(run_table1().render())
+        print()
+        print(run_table2(duration=args.duration, seed=args.seed).render())
+        print()
+        print(run_table3(duration=args.duration, seed=args.seed).render())
+        return 0 if all(r.matches() for r in reports) else 1
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""The paper's primary contribution: end-to-end fair allocation."""
+
+from .model import (
+    Flow,
+    Network,
+    NodeId,
+    Scenario,
+    Subflow,
+    SubflowId,
+    virtual_length,
+)
+from .contention import (
+    ContentionAnalysis,
+    contending_flow_groups,
+    contention_graph_from_pairs,
+    flows_contend,
+    subflow_contention_graph,
+    subflows_contend,
+)
+from .fairness_defs import (
+    basic_shares,
+    basic_total_throughput,
+    end_to_end_throughput,
+    jain_index,
+    naive_subflow_shares,
+    satisfies_basic_fairness,
+    satisfies_fairness_constraint,
+    total_effective_throughput,
+)
+from .bounds import FairnessBound, fairness_upper_bound
+from .allocation import (
+    AllocationResult,
+    basic_allocation,
+    basic_fairness_lp_allocation,
+    build_basic_fairness_lp,
+    fairness_constrained_allocation,
+    feasible_fairness_allocation,
+    naive_allocation,
+    single_hop_optimal_allocation,
+    total_single_hop_throughput,
+)
+from .maxmin_rates import (
+    maxmin_end_to_end_throughput,
+    maxmin_flow_allocation,
+    maxmin_subflow_rates,
+)
+from .centralized import CentralizedCoordinator, run_centralized
+from .distributed import DistributedAllocator, run_distributed
+from .feasibility import (
+    FeasibilityReport,
+    check_allocation_schedulability,
+    check_schedulability,
+    max_feasible_scaling,
+)
+
+__all__ = [
+    "Flow",
+    "Network",
+    "NodeId",
+    "Scenario",
+    "Subflow",
+    "SubflowId",
+    "virtual_length",
+    "ContentionAnalysis",
+    "subflow_contention_graph",
+    "subflows_contend",
+    "flows_contend",
+    "contending_flow_groups",
+    "contention_graph_from_pairs",
+    "basic_shares",
+    "basic_total_throughput",
+    "naive_subflow_shares",
+    "satisfies_fairness_constraint",
+    "satisfies_basic_fairness",
+    "end_to_end_throughput",
+    "total_effective_throughput",
+    "jain_index",
+    "FairnessBound",
+    "fairness_upper_bound",
+    "AllocationResult",
+    "naive_allocation",
+    "basic_allocation",
+    "fairness_constrained_allocation",
+    "feasible_fairness_allocation",
+    "basic_fairness_lp_allocation",
+    "build_basic_fairness_lp",
+    "single_hop_optimal_allocation",
+    "total_single_hop_throughput",
+    "maxmin_subflow_rates",
+    "maxmin_flow_allocation",
+    "maxmin_end_to_end_throughput",
+    "CentralizedCoordinator",
+    "run_centralized",
+    "DistributedAllocator",
+    "run_distributed",
+    "FeasibilityReport",
+    "check_schedulability",
+    "check_allocation_schedulability",
+    "max_feasible_scaling",
+]

@@ -1,0 +1,123 @@
+"""Fairness definitions and basic shares (Sec. II-C, II-D).
+
+The paper's allocations are *equal-per-hop*: a flow ``F_i`` gets the same
+share ``r̂_i`` on every hop, so its end-to-end throughput is
+``u_i = r̂_i``.  Three nested notions are implemented:
+
+* **fairness constraint**: ``|r̂_i/w_i − r̂_j/w_j| < ε`` for contending
+  flows — i.e. shares exactly proportional to weights;
+* **basic share**: ``r̂_i = w_i B / Σ_j w_j v_j`` within a contending flow
+  group, where ``v_j`` is the virtual length;
+* **basic fairness**: every flow receives at least its basic share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .model import Flow
+
+DEFAULT_EPSILON = 1e-9
+
+
+def basic_shares(
+    flows: Sequence[Flow], capacity: float = 1.0
+) -> Dict[str, float]:
+    """Basic share of each flow in one contending flow group.
+
+    ``r̂_i = w_i B / Σ_j w_j v_j`` (Sec. II-D).  With these shares every
+    flow attains its *basic throughput* and the group's total effective
+    throughput is ``(Σ w_i) B / Σ w_j v_j``.
+    """
+    denom = sum(f.weight * f.virtual_length for f in flows)
+    if denom <= 0:
+        raise ValueError("group has no subflows (all flows zero-length?)")
+    return {f.flow_id: f.weight * capacity / denom for f in flows}
+
+
+def basic_total_throughput(
+    flows: Sequence[Flow], capacity: float = 1.0
+) -> float:
+    """Total effective throughput when all flows get exactly basic shares."""
+    shares = basic_shares(flows, capacity)
+    return sum(shares.values())
+
+
+def naive_subflow_shares(
+    flows: Sequence[Flow], capacity: float = 1.0
+) -> Dict[str, float]:
+    """The strawman allocation of Eq. (2): ignore intra-flow reuse.
+
+    Splits B over *all* subflows of the group using true hop counts
+    ``l_i``:  ``r̂_i = w_i B / Σ_j w_j l_j``.  Always dominated by the basic
+    shares because ``v_i <= l_i``.
+    """
+    denom = sum(f.weight * f.length for f in flows)
+    if denom <= 0:
+        raise ValueError("group has no subflows")
+    return {f.flow_id: f.weight * capacity / denom for f in flows}
+
+
+def satisfies_fairness_constraint(
+    shares: Mapping[str, float],
+    weights: Mapping[str, float],
+    epsilon: float = DEFAULT_EPSILON,
+) -> bool:
+    """``|r̂_i/w_i − r̂_j/w_j| < ε`` for every pair of flows."""
+    normalized = [shares[f] / weights[f] for f in shares]
+    if not normalized:
+        return True
+    return max(normalized) - min(normalized) <= epsilon
+
+
+def satisfies_basic_fairness(
+    shares: Mapping[str, float],
+    flows: Sequence[Flow],
+    capacity: float = 1.0,
+    tol: float = 1e-9,
+) -> bool:
+    """Every flow's share at least its basic share (Sec. II-D)."""
+    basic = basic_shares(flows, capacity)
+    return all(
+        shares.get(f.flow_id, 0.0) >= basic[f.flow_id] - tol for f in flows
+    )
+
+
+def fairness_violations(
+    shares: Mapping[str, float],
+    flows: Sequence[Flow],
+    capacity: float = 1.0,
+    tol: float = 1e-9,
+) -> List[str]:
+    """Flows receiving less than their basic share (diagnostic helper)."""
+    basic = basic_shares(flows, capacity)
+    return [
+        f.flow_id
+        for f in flows
+        if shares.get(f.flow_id, 0.0) < basic[f.flow_id] - tol
+    ]
+
+
+def end_to_end_throughput(subflow_rates: Mapping[int, float]) -> float:
+    """``u_i = min_j u_{i.j}``: a flow is only as fast as its slowest hop."""
+    if not subflow_rates:
+        raise ValueError("flow has no subflows")
+    return min(subflow_rates.values())
+
+
+def total_effective_throughput(
+    flow_throughputs: Mapping[str, float]
+) -> float:
+    """``Σ_i u_i`` over all flows — the paper's spatial-reuse objective."""
+    return float(sum(flow_throughputs.values()))
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n Σx²)``; 1.0 is perfectly fair."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return 1.0
+    square_sum = sum(v * v for v in vals)
+    if square_sum == 0:
+        return 1.0
+    return (sum(vals) ** 2) / (len(vals) * square_sum)

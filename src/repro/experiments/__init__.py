@@ -1,0 +1,77 @@
+"""Experiment harness: worked examples, Tables I-III, ablations."""
+
+from .worked_examples import ALL_EXAMPLES, ExampleReport, run_all
+from .table1 import Table1Report, run_table1
+from .simulation_tables import (
+    DEFAULT_DURATION,
+    SimulationTable,
+    SystemResult,
+    run_table,
+    run_table2,
+    run_table3,
+)
+from .dynamic import (
+    DynamicAllocationExperiment,
+    FlowSchedule,
+    PhaseSnapshot,
+)
+from .weighted import (
+    WeightedResult,
+    make_weighted_local_scenario,
+    weighted_fig1,
+    weighted_local_channel,
+)
+from .visualize import (
+    render_allocation_comparison,
+    render_bars,
+    render_contention_matrix,
+    render_topology,
+)
+from .report import ReproductionReport, build_report
+from .replication import MetricStats, ReplicationReport, replicate_table
+from .ablations import (
+    ALL_ABLATIONS,
+    SweepResult,
+    alpha_sweep,
+    buffer_sweep,
+    cwmin_sweep,
+    scaling_study,
+    virtual_length_ablation,
+)
+
+__all__ = [
+    "run_all",
+    "ALL_EXAMPLES",
+    "ExampleReport",
+    "run_table1",
+    "Table1Report",
+    "run_table",
+    "run_table2",
+    "run_table3",
+    "SimulationTable",
+    "SystemResult",
+    "DEFAULT_DURATION",
+    "ALL_ABLATIONS",
+    "SweepResult",
+    "alpha_sweep",
+    "cwmin_sweep",
+    "buffer_sweep",
+    "virtual_length_ablation",
+    "scaling_study",
+    "DynamicAllocationExperiment",
+    "FlowSchedule",
+    "PhaseSnapshot",
+    "WeightedResult",
+    "weighted_local_channel",
+    "weighted_fig1",
+    "make_weighted_local_scenario",
+    "render_topology",
+    "render_contention_matrix",
+    "render_bars",
+    "render_allocation_comparison",
+    "ReproductionReport",
+    "build_report",
+    "MetricStats",
+    "ReplicationReport",
+    "replicate_table",
+]

@@ -1,0 +1,58 @@
+"""From-scratch graph algorithms underpinning the contention analysis."""
+
+from .graph import Graph, to_networkx
+from .cliques import (
+    cliques_containing,
+    is_maximal_clique,
+    max_weight_clique,
+    maximal_cliques,
+    weighted_clique_number,
+    weighted_clique_size,
+)
+from .coloring import (
+    chain_coloring,
+    chain_contention_graph,
+    color_classes,
+    greedy_coloring,
+    is_proper_coloring,
+    num_colors,
+)
+from .components import (
+    bfs_hop_counts,
+    bfs_reachable,
+    bfs_shortest_path,
+    connected_components,
+    is_connected,
+)
+from .independent import (
+    greedy_maximum_independent_set,
+    independence_number,
+    independent_sets_covering,
+    maximal_independent_sets,
+)
+
+__all__ = [
+    "Graph",
+    "to_networkx",
+    "maximal_cliques",
+    "weighted_clique_size",
+    "weighted_clique_number",
+    "max_weight_clique",
+    "cliques_containing",
+    "is_maximal_clique",
+    "greedy_coloring",
+    "num_colors",
+    "is_proper_coloring",
+    "chain_coloring",
+    "chain_contention_graph",
+    "color_classes",
+    "connected_components",
+    "bfs_reachable",
+    "bfs_shortest_path",
+    "bfs_hop_counts",
+    "is_connected",
+    "maximal_independent_sets",
+    "greedy_maximum_independent_set",
+    "independence_number",
+    "independent_sets_covering",
+]

@@ -1,0 +1,106 @@
+"""Maximal-clique enumeration on subflow contention graphs.
+
+The optimal allocation strategies of Sec. III constrain the per-flow share
+once per *maximal* clique of the subflow contention graph (the paper calls
+these "maximum cliques": cliques not contained in any other clique).  The
+graphs are small, so the classic Bron–Kerbosch algorithm with pivoting is
+more than fast enough and is implemented here from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+from .graph import Graph, Vertex
+
+
+def maximal_cliques(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """Enumerate all maximal cliques via Bron–Kerbosch with pivoting.
+
+    Returns a list of frozensets, sorted deterministically (by size
+    descending, then by the sorted representation of members) so that LP
+    constraint ordering is reproducible run to run.
+    """
+    if graph.num_vertices() == 0:
+        return []
+
+    adj: Dict[Vertex, Set[Vertex]] = {v: graph.neighbors(v) for v in graph}
+    cliques: List[FrozenSet[Vertex]] = []
+
+    def expand(r: Set[Vertex], p: Set[Vertex], x: Set[Vertex]) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        # Choose the pivot with the most neighbors in P to prune branches.
+        pivot = max(p | x, key=lambda u: len(adj[u] & p))
+        for v in list(p - adj[pivot]):
+            expand(r | {v}, p & adj[v], x & adj[v])
+            p.discard(v)
+            x.add(v)
+
+    expand(set(), set(adj), set())
+    return sorted(cliques, key=lambda c: (-len(c), sorted(map(repr, c))))
+
+
+def weighted_clique_size(
+    clique: Iterable[Vertex], weights: Dict[Vertex, float]
+) -> float:
+    """Sum of vertex weights in a clique (ω_{Ω_k} in the paper)."""
+    return float(sum(weights[v] for v in clique))
+
+
+def weighted_clique_number(
+    graph: Graph, weights: Dict[Vertex, float]
+) -> float:
+    """ω_Ω: the maximum weighted clique size over all maximal cliques.
+
+    This is the quantity in Proposition 1's throughput upper bound
+    ``Σ w_i · B / ω_Ω``.  An empty graph has weighted clique number 0.
+    """
+    best = 0.0
+    for clique in maximal_cliques(graph):
+        best = max(best, weighted_clique_size(clique, weights))
+    return best
+
+
+def max_weight_clique(
+    graph: Graph, weights: Dict[Vertex, float]
+) -> Tuple[FrozenSet[Vertex], float]:
+    """The maximal clique attaining ω_Ω, with its weighted size.
+
+    Ties are broken by the deterministic ordering of
+    :func:`maximal_cliques`.  Raises ``ValueError`` on an empty graph.
+    """
+    cliques = maximal_cliques(graph)
+    if not cliques:
+        raise ValueError("graph has no vertices")
+    best = cliques[0]
+    best_w = weighted_clique_size(best, weights)
+    for clique in cliques[1:]:
+        w = weighted_clique_size(clique, weights)
+        if w > best_w:
+            best, best_w = clique, w
+    return best, best_w
+
+
+def cliques_containing(
+    cliques: Iterable[FrozenSet[Vertex]], vertex: Vertex
+) -> List[FrozenSet[Vertex]]:
+    """Filter ``cliques`` down to those containing ``vertex``."""
+    return [c for c in cliques if vertex in c]
+
+
+def is_maximal_clique(graph: Graph, clique: Iterable[Vertex]) -> bool:
+    """True iff ``clique`` is a clique with no strict clique superset."""
+    members = set(clique)
+    if not graph.is_clique(members):
+        return False
+    if not members:
+        return graph.num_vertices() == 0
+    # A clique is maximal iff no outside vertex is adjacent to all members.
+    common: Set[Vertex] = None  # type: ignore[assignment]
+    for v in members:
+        nbrs = graph.neighbors(v)
+        common = nbrs if common is None else (common & nbrs)
+    assert common is not None
+    return not (common - members)

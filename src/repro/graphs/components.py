@@ -1,0 +1,93 @@
+"""Connected components and traversal utilities.
+
+Contending flow *groups* (Sec. II-A) are precisely the connected components
+of the subflow contention graph lifted to flows: two multi-hop flows belong
+to the same group if a chain of pairwise-contending flows joins them.  The
+allocation algorithms run independently on each group, so component
+extraction is the first step of every phase-1 computation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from .graph import Graph, Vertex
+
+
+def connected_components(graph: Graph) -> List[Set[Vertex]]:
+    """All connected components, each as a vertex set.
+
+    Components are returned in order of first-seen vertex, so the result is
+    deterministic given the graph's insertion order.
+    """
+    seen: Set[Vertex] = set()
+    components: List[Set[Vertex]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        comp = bfs_reachable(graph, start)
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def bfs_reachable(graph: Graph, start: Vertex) -> Set[Vertex]:
+    """Vertices reachable from ``start`` (including it)."""
+    seen: Set[Vertex] = {start}
+    queue = deque([start])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                queue.append(u)
+    return seen
+
+
+def bfs_shortest_path(
+    graph: Graph, source: Vertex, target: Vertex
+) -> Optional[List[Vertex]]:
+    """A shortest (fewest-edge) path from ``source`` to ``target``.
+
+    Returns ``None`` if no path exists.  Neighbor exploration follows the
+    graph's deterministic ordering via sorted reprs, so routing decisions
+    are reproducible.
+    """
+    if source == target:
+        return [source]
+    parent: Dict[Vertex, Vertex] = {source: source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in sorted(graph.neighbors(v), key=repr):
+            if u in parent:
+                continue
+            parent[u] = v
+            if u == target:
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            queue.append(u)
+    return None
+
+
+def bfs_hop_counts(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Hop distance from ``source`` to every reachable vertex."""
+    dist: Dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has at most one connected component."""
+    if graph.num_vertices() <= 1:
+        return True
+    return len(bfs_reachable(graph, next(iter(graph)))) == graph.num_vertices()

@@ -1,0 +1,64 @@
+"""Independent-set enumeration for schedule feasibility analysis.
+
+An allocation strategy is *schedulable* only if it can be written as a
+time-sharing of independent sets of the subflow contention graph (sets of
+subflows that may transmit concurrently).  Sec. III's pentagon example
+(Fig. 5) is exactly a case where the clique-based upper bound admits no
+such time-sharing.  Maximal independent sets are enumerated as the maximal
+cliques of the complement graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from .cliques import maximal_cliques
+from .graph import Graph, Vertex
+
+
+def maximal_independent_sets(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """All maximal independent sets, deterministically ordered.
+
+    Computed as the maximal cliques of the complement graph; an isolated
+    vertex set {v} is independent, and the empty graph yields no sets.
+    """
+    return maximal_cliques(graph.complement())
+
+
+def greedy_maximum_independent_set(graph: Graph) -> Set[Vertex]:
+    """A (not necessarily optimal) large independent set, greedily.
+
+    Repeatedly picks the minimum-degree vertex and removes its closed
+    neighborhood.  Used by the two-tier baseline's "select maximum
+    independent sets of subflows" step; optimality is not required there,
+    only a maximal concurrent-transmission set.
+    """
+    g = graph.copy()
+    chosen: Set[Vertex] = set()
+    while g.num_vertices():
+        v = min(g.vertices(), key=lambda u: (g.degree(u), repr(u)))
+        chosen.add(v)
+        for u in list(g.neighbors(v)) + [v]:
+            g.remove_vertex(u)
+    return chosen
+
+
+def independence_number(graph: Graph) -> int:
+    """Size of a maximum independent set (exact; exponential but tiny n)."""
+    sets = maximal_independent_sets(graph)
+    return max((len(s) for s in sets), default=0)
+
+
+def independent_sets_covering(
+    graph: Graph, vertices: Iterable[Vertex]
+) -> Dict[Vertex, List[FrozenSet[Vertex]]]:
+    """Map each vertex to the maximal independent sets containing it."""
+    sets = maximal_independent_sets(graph)
+    cover: Dict[Vertex, List[FrozenSet[Vertex]]] = {
+        v: [] for v in vertices
+    }
+    for s in sets:
+        for v in s:
+            if v in cover:
+                cover[v].append(s)
+    return cover

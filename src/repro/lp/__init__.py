@@ -1,0 +1,18 @@
+"""Linear programming: problem IR, from-scratch simplex, max-min refinement."""
+
+from .problem import Constraint, LinearProgram, LPSolution
+from .simplex import solve_simplex
+from .solvers import cross_check, register_backend, solve, solve_scipy
+from .maxmin import lexicographic_maxmin
+
+__all__ = [
+    "Constraint",
+    "LinearProgram",
+    "LPSolution",
+    "solve_simplex",
+    "solve",
+    "solve_scipy",
+    "cross_check",
+    "register_backend",
+    "lexicographic_maxmin",
+]

@@ -1,0 +1,132 @@
+"""Lexicographic max-min refinement among LP optima.
+
+The two-tier baseline's worked example in Sec. III allocates (3B/8, 3B/8)
+to the two subflows of F2 rather than, say, (B/2, B/4): among all
+allocations maximizing total single-hop throughput, the paper's two-tier
+splits leftover capacity in a max-min fair way.  This module implements the
+standard progressive-filling LP procedure:
+
+1.  Solve the throughput-maximizing LP; record the optimum T*.
+2.  Add the constraint  "objective == T*"  (as two inequalities).
+3.  Repeatedly maximize the minimum normalized share among still-free
+    variables; freeze the variables whose shares cannot be raised further;
+    repeat until all variables are frozen.
+
+The same machinery also yields *pure* weighted max-min allocations (without
+step 1/2) — used for comparison strategies and property tests.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Mapping, Optional
+
+from .problem import LinearProgram, LPSolution
+from .solvers import solve
+
+_TOL = 0.0
+
+
+def lexicographic_maxmin(
+    lp: LinearProgram,
+    weights: Optional[Mapping[str, float]] = None,
+    fix_objective: bool = True,
+    backend: str = "simplex",
+) -> LPSolution:
+    """Max-min-refined solution of ``lp``.
+
+    When ``fix_objective`` is True (the two-tier semantics), the original
+    objective value is first pinned at its optimum; the lexicographic
+    max-min then only arbitrates between equally-optimal vertices.  When
+    False, a pure weighted max-min allocation over the feasible region is
+    computed.
+
+    ``weights`` normalizes shares (share/weight comparisons); defaults to 1.
+    """
+    base = solve(lp, backend)
+    if not base.is_optimal:
+        return base
+    names = lp.variables
+    w = {v: float((weights or {}).get(v, 1.0)) for v in names}
+    for v, wv in w.items():
+        if wv <= 0:
+            raise ValueError(f"weight for {v!r} must be positive, got {wv}")
+
+    work = copy.deepcopy(lp)
+    if fix_objective and lp.objective:
+        # objective >= T*  encoded as  -objective <= -T*.
+        work.add_constraint(
+            {v: -c for v, c in lp.objective.items()},
+            -base.objective + _TOL,
+            label="pin-optimal-total",
+        )
+
+    frozen: Dict[str, float] = {}
+    remaining = list(names)
+    guard = len(names) + 2
+    while remaining and guard:
+        guard -= 1
+        level, values = _raise_floor(work, remaining, w, frozen, backend)
+        if level is None:
+            # No further improvement possible; freeze everything as-is.
+            for v in remaining:
+                frozen[v] = values.get(v, frozen.get(v, 0.0))
+            break
+        newly = _saturated(work, remaining, w, frozen, level, backend)
+        for v in newly:
+            frozen[v] = level * w[v]
+        remaining = [v for v in remaining if v not in newly]
+
+    solution = dict(frozen)
+    return LPSolution("optimal", solution, lp.objective_value(solution))
+
+
+def _raise_floor(
+    lp: LinearProgram,
+    free: List[str],
+    w: Mapping[str, float],
+    frozen: Mapping[str, float],
+    backend: str,
+):
+    """Maximize t s.t. x_v >= t*w_v for free v, x_v == frozen_v otherwise."""
+    aux = copy.deepcopy(lp)
+    t = "__maxmin_t__"
+    aux.objective = {t: 1.0}
+    aux._order = [v for v in aux._order] + ([t] if t not in aux._order else [])
+    for v in free:
+        # t*w_v - x_v <= 0
+        aux.add_constraint({t: w[v], v: -1.0}, 0.0, label=f"floor:{v}")
+    for v, val in frozen.items():
+        aux.add_constraint({v: 1.0}, val + _TOL, label=f"fix-hi:{v}")
+        aux.add_constraint({v: -1.0}, -val + _TOL, label=f"fix-lo:{v}")
+    sol = solve(aux, backend)
+    if not sol.is_optimal:
+        return None, {}
+    return sol.values.get(t, 0.0), sol.values
+
+
+def _saturated(
+    lp: LinearProgram,
+    free: List[str],
+    w: Mapping[str, float],
+    frozen: Mapping[str, float],
+    level: float,
+    backend: str,
+) -> List[str]:
+    """Free variables that cannot exceed ``level * w`` with the floor held."""
+    stuck: List[str] = []
+    for target in free:
+        aux = copy.deepcopy(lp)
+        aux.objective = {target: 1.0}
+        for v in free:
+            aux.set_lower_bound(v, max(level * w[v] - _TOL, 0.0))
+        for v, val in frozen.items():
+            aux.add_constraint({v: 1.0}, val + _TOL, label=f"fix-hi:{v}")
+            aux.add_constraint({v: -1.0}, -val + _TOL, label=f"fix-lo:{v}")
+        sol = solve(aux, backend)
+        if not sol.is_optimal or sol.values.get(target, 0.0) <= level * w[target] + 1e-7:
+            stuck.append(target)
+    # At least one variable must freeze per round to guarantee progress.
+    if not stuck and free:
+        stuck = [min(free)]
+    return stuck

@@ -1,0 +1,190 @@
+"""A small linear-program intermediate representation.
+
+All of the paper's phase-1 optimizations are linear programs of the form
+
+    maximize    c' x
+    subject to  A_ub x <= b_ub
+                x >= lb           (per-variable lower bounds)
+
+where ``x`` are per-flow equal-per-hop shares ``r̂_i``, the ``A_ub`` rows
+come from clique capacity constraints (Eq. 6), and ``lb`` encodes the basic
+shares (Eq. 7).  This module provides a named-variable builder that both the
+from-scratch simplex solver and the scipy cross-check backend consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single linear constraint ``sum(coeffs[v] * v) <= bound``.
+
+    ``label`` is carried through for reporting (e.g. the clique it encodes).
+    """
+
+    coeffs: Mapping[str, float]
+    bound: float
+    label: str = ""
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Left-hand-side value under ``assignment`` (missing vars = 0)."""
+        return float(
+            sum(c * assignment.get(v, 0.0) for v, c in self.coeffs.items())
+        )
+
+    def satisfied_by(
+        self, assignment: Mapping[str, float], tol: float = 1e-9
+    ) -> bool:
+        return self.evaluate(assignment) <= self.bound + tol
+
+    def is_tight(
+        self, assignment: Mapping[str, float], tol: float = 1e-7
+    ) -> bool:
+        return abs(self.evaluate(assignment) - self.bound) <= tol
+
+
+@dataclass
+class LinearProgram:
+    """A maximization LP over named non-negative variables.
+
+    Variables are registered implicitly through the objective, constraints,
+    and lower bounds; the column order is the registration order, which
+    makes solver behaviour (pivot selection, tie-breaking) deterministic.
+    """
+
+    _order: List[str] = field(default_factory=list)
+    objective: Dict[str, float] = field(default_factory=dict)
+    constraints: List[Constraint] = field(default_factory=list)
+    lower_bounds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_variable(self, name: str, objective_coeff: float = 0.0,
+                     lower_bound: float = 0.0) -> None:
+        """Register ``name`` with its objective coefficient and lower bound."""
+        self._register(name)
+        if objective_coeff:
+            self.objective[name] = self.objective.get(name, 0.0) + objective_coeff
+        if lower_bound:
+            self.lower_bounds[name] = max(
+                self.lower_bounds.get(name, 0.0), lower_bound
+            )
+
+    def maximize(self, coeffs: Mapping[str, float]) -> None:
+        """Set/accumulate the (maximization) objective."""
+        for v, c in coeffs.items():
+            self._register(v)
+            self.objective[v] = self.objective.get(v, 0.0) + c
+
+    def add_constraint(
+        self, coeffs: Mapping[str, float], bound: float, label: str = ""
+    ) -> None:
+        """Add ``sum(coeffs) <= bound``."""
+        for v in coeffs:
+            self._register(v)
+        self.constraints.append(Constraint(dict(coeffs), float(bound), label))
+
+    def set_lower_bound(self, name: str, bound: float) -> None:
+        """Require ``name >= bound`` (bounds only tighten, never loosen)."""
+        self._register(name)
+        self.lower_bounds[name] = max(self.lower_bounds.get(name, 0.0),
+                                      float(bound))
+
+    def _register(self, name: str) -> None:
+        if name not in self.objective and name not in self._order:
+            self._order.append(name)
+        if name in self.objective and name not in self._order:
+            self._order.append(name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> List[str]:
+        """Variable names in registration order."""
+        return list(self._order)
+
+    def num_variables(self) -> int:
+        return len(self._order)
+
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # ------------------------------------------------------------------
+    # Dense matrix form (for solvers)
+    # ------------------------------------------------------------------
+    def to_dense(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(c, A_ub, b_ub, lb)`` in variable registration order."""
+        names = self.variables
+        index = {v: j for j, v in enumerate(names)}
+        n = len(names)
+        c = np.zeros(n)
+        for v, coeff in self.objective.items():
+            c[index[v]] = coeff
+        m = len(self.constraints)
+        a = np.zeros((m, n))
+        b = np.zeros(m)
+        for i, con in enumerate(self.constraints):
+            for v, coeff in con.coeffs.items():
+                a[i, index[v]] = coeff
+            b[i] = con.bound
+        lb = np.array([self.lower_bounds.get(v, 0.0) for v in names])
+        return c, a, b, lb
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+    def is_feasible(
+        self, assignment: Mapping[str, float], tol: float = 1e-9
+    ) -> bool:
+        """Check ``assignment`` against all constraints and lower bounds."""
+        for v in self.variables:
+            if assignment.get(v, 0.0) < self.lower_bounds.get(v, 0.0) - tol:
+                return False
+        return all(c.satisfied_by(assignment, tol) for c in self.constraints)
+
+    def objective_value(self, assignment: Mapping[str, float]) -> float:
+        return float(
+            sum(c * assignment.get(v, 0.0) for v, c in self.objective.items())
+        )
+
+    def pretty(self) -> str:
+        """Human-readable rendering, mirroring the paper's LP listings."""
+        obj = " + ".join(
+            (f"{c:g}*{v}" if c != 1 else v)
+            for v, c in self.objective.items()
+        )
+        lines = [f"maximize {obj}", "subject to"]
+        for con in self.constraints:
+            lhs = " + ".join(
+                (f"{c:g}*{v}" if c != 1 else v)
+                for v, c in con.coeffs.items()
+            )
+            suffix = f"    [{con.label}]" if con.label else ""
+            lines.append(f"  {lhs} <= {con.bound:g}{suffix}")
+        for v in self.variables:
+            lb = self.lower_bounds.get(v, 0.0)
+            lines.append(f"  {v} >= {lb:g}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Result of an LP solve."""
+
+    status: str                      # "optimal" | "infeasible" | "unbounded"
+    values: Dict[str, float]
+    objective: float
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]

@@ -1,0 +1,224 @@
+"""A from-scratch two-phase primal simplex solver.
+
+The paper notes that its allocation LPs "may be solved with the Simplex
+algorithm"; this module implements exactly that, so the reproduction does
+not depend on an external optimizer (scipy is used only as a cross-check in
+the test suite).
+
+The solver handles the standard form produced by
+:class:`repro.lp.problem.LinearProgram`:
+
+    maximize   c' x
+    s.t.       A x <= b,   x >= lb  (>= 0 after shifting)
+
+Lower bounds are eliminated by the substitution ``y = x - lb``; negative
+right-hand sides after the shift (possible when basic shares exceed slack)
+are handled by a phase-1 auxiliary problem with artificial variables.
+Bland's anti-cycling rule governs pivot selection, which also makes the
+returned vertex deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .problem import LinearProgram, LPSolution
+
+_EPS = 1e-9
+
+
+def solve_simplex(lp: LinearProgram) -> LPSolution:
+    """Solve ``lp`` with the two-phase simplex method.
+
+    Returns an :class:`LPSolution` whose ``status`` is one of ``optimal``,
+    ``infeasible`` or ``unbounded``.
+    """
+    names = lp.variables
+    if not names:
+        return LPSolution("optimal", {}, 0.0)
+    c, a, b, lb = lp.to_dense()
+
+    # Shift out the lower bounds: x = y + lb with y >= 0.
+    b_shift = b - a @ lb
+    status, y, _ = _simplex_leq(c, a, b_shift)
+    if status != "optimal":
+        return LPSolution(status, {}, float("nan"))
+    x = y + lb
+    values = {v: float(x[j]) for j, v in enumerate(names)}
+    return LPSolution("optimal", values, lp.objective_value(values))
+
+
+def _simplex_leq(
+    c: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> Tuple[str, Optional[np.ndarray], float]:
+    """Maximize ``c'y`` s.t. ``A y <= b``, ``y >= 0`` (b may be negative).
+
+    Returns ``(status, y, objective)``.
+    """
+    m, n = a.shape
+    if m == 0:
+        # No constraints: optimum is 0 at origin unless some c_j > 0, in
+        # which case the problem is unbounded.
+        if np.any(c > _EPS):
+            return "unbounded", None, float("inf")
+        return "optimal", np.zeros(n), 0.0
+
+    # Convert rows with negative rhs to >= rows by negation, then build the
+    # tableau with slack variables for <= rows and surplus + artificial
+    # variables for >= rows.
+    a = a.copy().astype(float)
+    b = b.copy().astype(float)
+    ge_rows = b < -_EPS
+    a[ge_rows] *= -1.0
+    b[ge_rows] *= -1.0
+    # Now every row is  a_i y (<= or >=) b_i with b_i >= 0; ge_rows marks >=.
+
+    num_slack = int(np.sum(~ge_rows))
+    num_surplus = int(np.sum(ge_rows))
+    num_art = num_surplus
+    total = n + num_slack + num_surplus + num_art
+
+    tableau = np.zeros((m, total))
+    tableau[:, :n] = a
+    rhs = b.copy()
+    basis = np.empty(m, dtype=int)
+
+    slack_j = n
+    surplus_j = n + num_slack
+    art_j = n + num_slack + num_surplus
+    art_cols = []
+    for i in range(m):
+        if ge_rows[i]:
+            tableau[i, surplus_j] = -1.0
+            tableau[i, art_j] = 1.0
+            basis[i] = art_j
+            art_cols.append(art_j)
+            surplus_j += 1
+            art_j += 1
+        else:
+            tableau[i, slack_j] = 1.0
+            basis[i] = slack_j
+            slack_j += 1
+
+    if art_cols:
+        # Phase 1: minimize sum of artificials == maximize -sum.
+        obj1 = np.zeros(total)
+        for j in art_cols:
+            obj1[j] = -1.0
+        status = _run_simplex(tableau, rhs, obj1, basis)
+        if status == "unbounded":  # pragma: no cover - cannot happen
+            return "infeasible", None, float("nan")
+        art_value = -sum(
+            rhs[i] for i in range(m) if basis[i] in set(art_cols)
+        )
+        phase1_obj = sum(
+            rhs[i] for i in range(m) if basis[i] >= n + num_slack + num_surplus
+        )
+        if phase1_obj > 1e-7:
+            return "infeasible", None, float("nan")
+        _drive_out_artificials(tableau, rhs, basis, n + num_slack + num_surplus)
+
+    # Phase 2: original objective, artificial columns frozen at zero.
+    obj2 = np.zeros(total)
+    obj2[:n] = c
+    if art_cols:
+        # Forbid artificials from re-entering by pricing them at -inf
+        # (implemented by masking their columns out of pivot selection).
+        art_start = n + num_slack + num_surplus
+    else:
+        art_start = total
+    status = _run_simplex(tableau, rhs, obj2, basis, forbidden_from=art_start)
+    if status == "unbounded":
+        return "unbounded", None, float("inf")
+
+    y = np.zeros(total)
+    for i in range(m):
+        y[basis[i]] = rhs[i]
+    return "optimal", y[:n], float(obj2 @ y)
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    rhs: np.ndarray,
+    obj: np.ndarray,
+    basis: np.ndarray,
+    forbidden_from: Optional[int] = None,
+) -> str:
+    """Run primal simplex pivots in place.  Returns 'optimal'/'unbounded'.
+
+    ``tableau`` is the m x total constraint matrix, ``rhs`` the m-vector,
+    ``obj`` the maximization objective over all columns, ``basis`` the
+    current basic column per row.  Bland's rule (smallest eligible index)
+    prevents cycling.  Columns with index >= ``forbidden_from`` never enter.
+    """
+    m, total = tableau.shape
+    limit = forbidden_from if forbidden_from is not None else total
+    max_iters = 500 * (m + total + 1)
+
+    for _ in range(max_iters):
+        # Reduced costs: z_j - c_j using current basis.
+        cb = obj[basis]
+        reduced = obj - cb @ tableau
+        reduced[basis] = 0.0
+
+        entering = -1
+        for j in range(limit):
+            if reduced[j] > _EPS:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal"
+
+        # Ratio test with Bland's rule on ties (smallest basis index).
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            coeff = tableau[i, entering]
+            if coeff > _EPS:
+                ratio = rhs[i] / coeff
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded"
+
+        _pivot(tableau, rhs, leaving, entering)
+        basis[leaving] = entering
+    raise RuntimeError("simplex did not converge (cycling safeguard hit)")
+
+
+def _pivot(tableau: np.ndarray, rhs: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot on (row, col), in place."""
+    piv = tableau[row, col]
+    tableau[row] /= piv
+    rhs[row] /= piv
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > _EPS:
+            factor = tableau[i, col]
+            tableau[i] -= factor * tableau[row]
+            rhs[i] -= factor * rhs[row]
+    # Clean numerical dust so later sign tests stay crisp.
+    tableau[np.abs(tableau) < 1e-12] = 0.0
+    rhs[np.abs(rhs) < 1e-12] = 0.0
+
+
+def _drive_out_artificials(
+    tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray, art_start: int
+) -> None:
+    """Pivot basic artificial variables (at value 0) out of the basis."""
+    m, total = tableau.shape
+    for i in range(m):
+        if basis[i] >= art_start:
+            for j in range(art_start):
+                if abs(tableau[i, j]) > _EPS:
+                    _pivot(tableau, rhs, i, j)
+                    basis[i] = j
+                    break
+            # If the whole row is zero the constraint was redundant; the
+            # artificial stays basic at zero, which is harmless because its
+            # column is excluded from phase-2 pivoting.

@@ -1,0 +1,87 @@
+"""Solver front-end: from-scratch simplex by default, scipy as cross-check.
+
+``solve(lp)`` is the single entry point used by the allocation algorithms.
+The default backend is the library's own simplex implementation; the scipy
+backend exists so tests (and cautious users) can verify both agree on every
+LP the paper's algorithms generate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .problem import LinearProgram, LPSolution
+from .simplex import solve_simplex
+
+Backend = Callable[[LinearProgram], LPSolution]
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, backend: Backend) -> None:
+    """Register a named solver backend (mostly useful for testing)."""
+    _BACKENDS[name] = backend
+
+
+def solve(lp: LinearProgram, backend: str = "simplex") -> LPSolution:
+    """Solve ``lp`` with the requested backend (default: own simplex)."""
+    try:
+        fn = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {backend!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+    return fn(lp)
+
+
+def solve_scipy(lp: LinearProgram) -> LPSolution:
+    """Solve with ``scipy.optimize.linprog`` (HiGHS)."""
+    from scipy.optimize import linprog
+
+    names = lp.variables
+    if not names:
+        return LPSolution("optimal", {}, 0.0)
+    c, a, b, lb = lp.to_dense()
+    bounds = [(float(l), None) for l in lb]
+    res = linprog(
+        -c,
+        A_ub=a if a.size else None,
+        b_ub=b if b.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status == 2:
+        return LPSolution("infeasible", {}, float("nan"))
+    if res.status == 3:
+        return LPSolution("unbounded", {}, float("inf"))
+    if res.status != 0:  # pragma: no cover - numerical trouble
+        raise RuntimeError(f"scipy linprog failed: {res.message}")
+    values = {v: float(res.x[j]) for j, v in enumerate(names)}
+    return LPSolution("optimal", values, lp.objective_value(values))
+
+
+def cross_check(lp: LinearProgram, tol: float = 1e-7) -> LPSolution:
+    """Solve with both backends and assert objective agreement.
+
+    Returns the simplex solution.  Raises ``AssertionError`` on mismatch;
+    used heavily in tests to validate the from-scratch solver.
+    """
+    ours = solve(lp, "simplex")
+    theirs = solve(lp, "scipy")
+    if ours.status != theirs.status:
+        raise AssertionError(
+            f"backend status mismatch: simplex={ours.status} "
+            f"scipy={theirs.status}"
+        )
+    if ours.is_optimal and abs(ours.objective - theirs.objective) > tol:
+        raise AssertionError(
+            f"backend objective mismatch: simplex={ours.objective} "
+            f"scipy={theirs.objective}"
+        )
+    return ours
+
+
+register_backend("simplex", solve_simplex)
+register_backend("scipy", solve_scipy)

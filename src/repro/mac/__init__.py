@@ -1,0 +1,18 @@
+"""MAC substrate: channel, 802.11 DCF state machine, scheduling policies."""
+
+from .channel import Transmission, WirelessChannel
+from .entity import MacEntity, MacState
+from .policies import DcfPolicy, FairBackoffPolicy, SchedulingPolicy
+from .timings import DEFAULT_TIMINGS, MacTimings
+
+__all__ = [
+    "WirelessChannel",
+    "Transmission",
+    "MacEntity",
+    "MacState",
+    "SchedulingPolicy",
+    "DcfPolicy",
+    "FairBackoffPolicy",
+    "MacTimings",
+    "DEFAULT_TIMINGS",
+]

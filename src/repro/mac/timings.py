@@ -1,0 +1,121 @@
+"""IEEE 802.11 DSSS timing parameters and frame durations.
+
+Derived from the 1999 802.11 DSSS PHY the paper's ns-2 version models:
+2 Mbps data rate, 1 Mbps control/basic rate, 192 us PLCP preamble+header
+at the basic rate, 20 us slots, 10 us SIFS, DIFS = SIFS + 2*slots.
+
+All durations are in microseconds; sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..net.packet import DataPacket
+
+#: MAC overheads (bytes), per IEEE 802.11-1999.
+RTS_BYTES = 20
+CTS_BYTES = 14
+ACK_BYTES = 14
+MAC_HEADER_BYTES = 28  # data MAC header + FCS
+
+
+@dataclass(frozen=True)
+class MacTimings:
+    """Every timing constant the MAC state machines use."""
+
+    slot: float = 20.0                 # us
+    sifs: float = 10.0                 # us
+    plcp_overhead: float = 192.0       # us, preamble + PLCP header
+    data_rate: float = 2.0             # Mbps == bits/us
+    basic_rate: float = 1.0            # Mbps, for RTS/CTS/ACK
+    cw_min: int = 31                   # the paper sets CWmin = 31
+    cw_max: int = 1023
+    retry_limit: int = 7
+    timeout_slack: float = 5.0         # us of grace on CTS/ACK timeouts
+    #: Defer EIFS (instead of DIFS) after sensing an undecodable frame.
+    #: Off by default: ns-2 2.1b8a-era models (and our calibrated
+    #: results) do not use it; the EIFS ablation turns it on.
+    use_eifs: bool = False
+
+    @property
+    def difs(self) -> float:
+        return self.sifs + 2.0 * self.slot
+
+    @property
+    def eifs(self) -> float:
+        """Extended IFS: SIFS + ACK-at-basic-rate + DIFS (802.11 §9.2.10).
+
+        Applied after a reception error so a node does not stomp on the
+        ACK it could not see coming.
+        """
+        return self.sifs + self.control_duration(ACK_BYTES) + self.difs
+
+    # ------------------------------------------------------------------
+    # Frame durations
+    # ------------------------------------------------------------------
+    def control_duration(self, size_bytes: int) -> float:
+        """Airtime of a control frame at the basic rate."""
+        return self.plcp_overhead + size_bytes * 8.0 / self.basic_rate
+
+    @property
+    def rts_duration(self) -> float:
+        return self.control_duration(RTS_BYTES)
+
+    @property
+    def cts_duration(self) -> float:
+        return self.control_duration(CTS_BYTES)
+
+    @property
+    def ack_duration(self) -> float:
+        return self.control_duration(ACK_BYTES)
+
+    def data_duration(self, payload_bytes: int) -> float:
+        """Airtime of a DATA frame (payload + MAC header) at data rate."""
+        bits = (payload_bytes + MAC_HEADER_BYTES) * 8.0
+        return self.plcp_overhead + bits / self.data_rate
+
+    def data_duration_for(self, packet: DataPacket) -> float:
+        return self.data_duration(packet.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Handshake bookkeeping
+    # ------------------------------------------------------------------
+    def exchange_remainder_after_rts(self, payload_bytes: int) -> float:
+        """NAV a correctly decoded RTS announces: CTS+DATA+ACK + SIFSes."""
+        return (
+            self.sifs + self.cts_duration
+            + self.sifs + self.data_duration(payload_bytes)
+            + self.sifs + self.ack_duration
+        )
+
+    def exchange_remainder_after_cts(self, payload_bytes: int) -> float:
+        """NAV a correctly decoded CTS announces: DATA+ACK + SIFSes."""
+        return (
+            self.sifs + self.data_duration(payload_bytes)
+            + self.sifs + self.ack_duration
+        )
+
+    @property
+    def cts_timeout(self) -> float:
+        """Sender waits this long after its RTS ends for the CTS to end."""
+        return self.sifs + self.cts_duration + self.timeout_slack
+
+    @property
+    def ack_timeout(self) -> float:
+        """Sender waits this long after its DATA ends for the ACK to end."""
+        return self.sifs + self.ack_duration + self.timeout_slack
+
+    def transaction_duration(self, payload_bytes: int) -> float:
+        """Full RTS->ACK exchange airtime (excluding DIFS and backoff)."""
+        return self.rts_duration + self.exchange_remainder_after_rts(
+            payload_bytes
+        )
+
+    def with_cw_min(self, cw_min: int) -> "MacTimings":
+        """A copy with a different minimum contention window."""
+        return replace(self, cw_min=cw_min)
+
+
+#: The evaluation's configuration: 2 Mbps channel, CWmin = 31.
+DEFAULT_TIMINGS = MacTimings()

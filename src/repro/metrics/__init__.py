@@ -1,0 +1,26 @@
+"""Evaluation metrics: throughput, loss, fairness, post-hoc analysis."""
+
+from .collector import FlowMetrics, MetricsCollector
+from .timeseries import ThroughputSeries
+from .analysis import (
+    AdherenceReport,
+    LossBreakdown,
+    intra_flow_balance,
+    loss_breakdown,
+    measured_fairness_index,
+    share_adherence,
+    utilization,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "FlowMetrics",
+    "AdherenceReport",
+    "share_adherence",
+    "measured_fairness_index",
+    "intra_flow_balance",
+    "LossBreakdown",
+    "loss_breakdown",
+    "utilization",
+    "ThroughputSeries",
+]

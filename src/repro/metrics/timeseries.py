@@ -1,0 +1,83 @@
+"""Windowed time series of per-flow throughput.
+
+Used for convergence analysis: how quickly do the phase-2 schedulers
+drive measured rates to the allocated shares after a cold start or a
+re-allocation event?  Deliveries are binned into fixed windows; each
+flow's series can then be compared against its target share over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..traffic.cbr import US
+
+
+@dataclass
+class ThroughputSeries:
+    """Per-flow delivery counts in fixed-size windows."""
+
+    window_seconds: float
+    counts: Dict[str, List[int]] = field(default_factory=dict)
+
+    def record(self, flow_id: str, time_us: float) -> None:
+        index = int(time_us / (self.window_seconds * US))
+        series = self.counts.setdefault(flow_id, [])
+        while len(series) <= index:
+            series.append(0)
+        series[index] += 1
+
+    def rates(self, flow_id: str) -> List[float]:
+        """Packets per second in each window."""
+        return [
+            c / self.window_seconds
+            for c in self.counts.get(flow_id, [])
+        ]
+
+    def num_windows(self) -> int:
+        return max((len(s) for s in self.counts.values()), default=0)
+
+    def window_ratio(self, a: str, b: str, index: int) -> Optional[float]:
+        """Throughput ratio of two flows in one window (None if b idle)."""
+        sa = self.counts.get(a, [])
+        sb = self.counts.get(b, [])
+        va = sa[index] if index < len(sa) else 0
+        vb = sb[index] if index < len(sb) else 0
+        return va / vb if vb else None
+
+    def convergence_window(
+        self,
+        targets: Mapping[str, float],
+        tolerance: float = 0.2,
+        settle: int = 2,
+    ) -> Optional[int]:
+        """First window from which ratios stay within ``tolerance``.
+
+        Compares each pair of flows' windowed rates against the ratio of
+        their target shares; returns the earliest window index ``k`` such
+        that windows ``k .. k+settle-1`` all match, or ``None`` if the
+        run never converges.
+        """
+        flows = [f for f in targets if targets[f] > 0]
+        n = self.num_windows()
+        for start in range(0, max(n - settle + 1, 0)):
+            if all(
+                self._window_ok(flows, targets, w, tolerance)
+                for w in range(start, start + settle)
+            ):
+                return start
+        return None
+
+    def _window_ok(self, flows: Sequence[str],
+                   targets: Mapping[str, float], window: int,
+                   tolerance: float) -> bool:
+        for i, a in enumerate(flows):
+            for b in flows[i + 1:]:
+                measured = self.window_ratio(a, b, window)
+                if measured is None:
+                    return False
+                expected = targets[a] / targets[b]
+                if abs(measured - expected) > tolerance * expected:
+                    return False
+        return True

@@ -1,0 +1,14 @@
+"""Network substrate: packets, frames, queues."""
+
+from .packet import DataPacket, Frame, FrameKind, TagInfo
+from .queues import DEFAULT_CAPACITY, DropTailQueue, QueueStats
+
+__all__ = [
+    "DataPacket",
+    "Frame",
+    "FrameKind",
+    "TagInfo",
+    "DropTailQueue",
+    "QueueStats",
+    "DEFAULT_CAPACITY",
+]

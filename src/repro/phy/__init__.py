@@ -1,0 +1,25 @@
+"""PHY substrate: propagation models and range computations."""
+
+from .propagation import (
+    RadioParams,
+    can_decode,
+    can_sense,
+    carrier_sense_range,
+    crossover_distance,
+    decode_range,
+    friis,
+    received_power,
+    two_ray_ground,
+)
+
+__all__ = [
+    "RadioParams",
+    "friis",
+    "two_ray_ground",
+    "received_power",
+    "crossover_distance",
+    "decode_range",
+    "carrier_sense_range",
+    "can_decode",
+    "can_sense",
+]

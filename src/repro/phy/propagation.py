@@ -1,0 +1,140 @@
+"""Radio propagation models (ns-2's PHY substrate, rebuilt analytically).
+
+The paper's evaluation uses ns-2's *Two Ray Ground Reflection* model with a
+250 m transmission and interference range at the default 914 MHz WaveLAN
+parameters.  We implement both Friis free-space and two-ray ground path
+loss, the crossover distance between them, and the inverse problem
+(range from a receive threshold) — and we verify in tests that the default
+parameters reproduce the canonical 250 m disc the paper assumes.
+
+Units: distances in meters, powers in watts, frequency in Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Speed of light (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """Transceiver parameters (defaults: ns-2's 914 MHz Lucent WaveLAN).
+
+    ``rx_threshold`` is the minimum receive power for successful decoding
+    (RXThresh); ``cs_threshold`` the carrier-sense threshold (CSThresh).
+    ns-2's defaults put the decode range at ~250 m and the carrier-sense
+    range at ~550 m; the paper sets both tx and interference range to
+    250 m, which corresponds to equal thresholds.
+    """
+
+    tx_power: float = 0.28183815       # W (ns-2 default Pt for 250 m)
+    frequency: float = 914e6           # Hz
+    tx_gain: float = 1.0
+    rx_gain: float = 1.0
+    antenna_height: float = 1.5        # m
+    system_loss: float = 1.0
+    rx_threshold: float = 3.652e-10    # W (ns-2 RXThresh for 250 m)
+    cs_threshold: float = 3.652e-10    # equal => interference range 250 m
+
+    @property
+    def wavelength(self) -> float:
+        return SPEED_OF_LIGHT / self.frequency
+
+
+def friis(distance: float, params: RadioParams = RadioParams()) -> float:
+    """Free-space receive power at ``distance``.
+
+    ``Pr = Pt Gt Gr λ² / ((4π d)² L)``; raises for non-positive distance.
+    """
+    if distance <= 0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    lam = params.wavelength
+    return (
+        params.tx_power * params.tx_gain * params.rx_gain * lam * lam
+        / ((4.0 * math.pi * distance) ** 2 * params.system_loss)
+    )
+
+
+def crossover_distance(params: RadioParams = RadioParams()) -> float:
+    """Distance where two-ray ground takes over from Friis.
+
+    ``d_c = 4π ht hr / λ``: below it the ground reflection has not yet
+    formed a stable two-ray pattern and free space applies.
+    """
+    return (
+        4.0 * math.pi * params.antenna_height * params.antenna_height
+        / params.wavelength
+    )
+
+
+def two_ray_ground(
+    distance: float, params: RadioParams = RadioParams()
+) -> float:
+    """Two-ray ground reflection receive power (ns-2 semantics).
+
+    Uses Friis below the crossover distance and
+    ``Pr = Pt Gt Gr ht² hr² / (d⁴ L)`` beyond it.
+    """
+    if distance <= 0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    if distance < crossover_distance(params):
+        return friis(distance, params)
+    h2 = params.antenna_height * params.antenna_height
+    return (
+        params.tx_power * params.tx_gain * params.rx_gain * h2 * h2
+        / (distance ** 4 * params.system_loss)
+    )
+
+
+def decode_range(params: RadioParams = RadioParams()) -> float:
+    """Maximum distance at which receive power meets ``rx_threshold``."""
+    return _range_for_threshold(params.rx_threshold, params)
+
+
+def carrier_sense_range(params: RadioParams = RadioParams()) -> float:
+    """Maximum distance at which a transmission is sensed (CSThresh)."""
+    return _range_for_threshold(params.cs_threshold, params)
+
+
+def _range_for_threshold(
+    threshold: float, params: RadioParams
+) -> float:
+    """Invert the two-ray model: the distance where Pr == threshold."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    # Try the two-ray regime first: d = (Pt Gt Gr ht² hr² / (thr L))^(1/4).
+    h2 = params.antenna_height * params.antenna_height
+    d4 = (
+        params.tx_power * params.tx_gain * params.rx_gain * h2 * h2
+        / (threshold * params.system_loss)
+    )
+    d = d4 ** 0.25
+    if d >= crossover_distance(params):
+        return d
+    # Otherwise solve in the Friis regime.
+    lam = params.wavelength
+    d2 = (
+        params.tx_power * params.tx_gain * params.rx_gain * lam * lam
+        / (threshold * params.system_loss * (4.0 * math.pi) ** 2)
+    )
+    return math.sqrt(d2)
+
+
+def received_power(
+    distance: float, params: RadioParams = RadioParams()
+) -> float:
+    """Alias for :func:`two_ray_ground` (the model the paper uses)."""
+    return two_ray_ground(distance, params)
+
+
+def can_decode(distance: float, params: RadioParams = RadioParams()) -> bool:
+    """True when a frame at ``distance`` is decodable in isolation."""
+    return received_power(distance, params) >= params.rx_threshold
+
+
+def can_sense(distance: float, params: RadioParams = RadioParams()) -> bool:
+    """True when energy at ``distance`` trips the carrier-sense circuit."""
+    return received_power(distance, params) >= params.cs_threshold

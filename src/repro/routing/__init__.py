@@ -1,0 +1,22 @@
+"""Routing substrate: shortest paths and DSR-lite."""
+
+from .paths import (
+    connectivity_graph,
+    hop_distance,
+    is_shortest,
+    route_flows,
+    shortest_route,
+)
+from .dsr import DsrNode, DsrProtocol, RouteCacheEntry, RouteRequest
+
+__all__ = [
+    "connectivity_graph",
+    "shortest_route",
+    "hop_distance",
+    "route_flows",
+    "is_shortest",
+    "DsrProtocol",
+    "DsrNode",
+    "RouteRequest",
+    "RouteCacheEntry",
+]

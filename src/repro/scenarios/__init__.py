@@ -1,0 +1,37 @@
+"""Paper scenarios (Figs. 1-6) and random-topology generators."""
+
+from . import fig1, fig2, fig3, fig4, fig5, fig6
+from .io import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .library import cross, grid_scenario, parallel_chains, star
+from .random_topology import (
+    make_random_scenario,
+    node_graph,
+    random_connected_network,
+    random_flows,
+)
+
+__all__ = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "make_random_scenario",
+    "random_connected_network",
+    "random_flows",
+    "node_graph",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+    "parallel_chains",
+    "cross",
+    "grid_scenario",
+    "star",
+]

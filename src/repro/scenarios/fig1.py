@@ -1,0 +1,60 @@
+"""Scenario of Fig. 1: two 2-hop flows with partial contention.
+
+``F1 = A -> B -> C`` and ``F2 = D -> E -> F`` (the paper's prose says
+"F1 from node A to B", but its own buffer-overflow discussion makes B the
+relay, so the destination is a third node).  The contention structure the
+paper analyzes is:
+
+* ``F1.1`` contends only with ``F1.2``;
+* ``F1.2`` contends with ``F2.1`` and ``F2.2``;
+* ``F2.1`` contends with ``F2.2``.
+
+yielding maximal cliques ``{F1.1, F1.2}`` and ``{F1.2, F2.1, F2.2}``, basic
+shares of ``B/4`` for both flows, and the Prop. 2 optimum
+``(r̂_1, r̂_2) = (B/2, B/4)``.
+
+The geometry below realizes exactly that contention graph with a 250 m
+range: nodes on a line at x = 0, 200, 400, 520, 640, 860.  Verified
+pairwise: C–D = 120 and C–E = 240 create the F1.2 contention; B–D = 320
+keeps F1.1 clear of F2.
+"""
+
+from __future__ import annotations
+
+from ..core.model import Flow, Network, Scenario
+
+#: Canonical positions (meters); y = 0 for all nodes.
+POSITIONS = {
+    "A": (0.0, 0.0),
+    "B": (200.0, 0.0),
+    "C": (400.0, 0.0),
+    "D": (520.0, 0.0),
+    "E": (640.0, 0.0),
+    "F": (860.0, 0.0),
+}
+
+#: The allocation strategies discussed in Sec. III for this topology,
+#: normalized to B = 1 (flow id -> share).
+PAPER_FAIRNESS_ALLOCATION = {"1": 1.0 / 3.0, "2": 1.0 / 3.0}
+PAPER_BASIC_FAIRNESS_ALLOCATION = {"1": 0.5, "2": 0.25}
+PAPER_BASIC_SHARES = {"1": 0.25, "2": 0.25}
+#: Two-tier (single-hop) subflow allocation from the worked comparison:
+#: (r_{1.1}, r_{1.2}, r_{2.1}, r_{2.2}) = (3B/4, B/4, 3B/8, 3B/8).
+PAPER_TWO_TIER_SUBFLOWS = {
+    ("1", 1): 0.75,
+    ("1", 2): 0.25,
+    ("2", 1): 0.375,
+    ("2", 2): 0.375,
+}
+#: End-to-end throughputs of the two-tier allocation: (B/4, 3B/8).
+PAPER_TWO_TIER_FLOWS = {"1": 0.25, "2": 0.375}
+
+
+def make_scenario(capacity: float = 1.0, weight: float = 1.0) -> Scenario:
+    """Build the Fig. 1 scenario (both flows share ``weight``)."""
+    network = Network.from_positions(POSITIONS, tx_range=250.0)
+    flows = [
+        Flow("1", ["A", "B", "C"], weight),
+        Flow("2", ["D", "E", "F"], weight),
+    ]
+    return Scenario(network, flows, name="fig1", capacity=capacity)

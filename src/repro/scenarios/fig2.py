@@ -1,0 +1,84 @@
+"""Scenarios of Fig. 2: fairness in the single-hop vs multi-hop case.
+
+Three sub-scenarios over one fully-connected local neighborhood (every
+node hears every other, so all subflows mutually contend):
+
+* **(a)** two single-hop flows, weights (2, 1): the weighted-fair
+  allocation is ``(2B/3, B/3)``.
+* **(b)** F1 single-hop (w=2) vs F2 three-hop (w=1), allocating channel
+  *time* proportional to weights: F2's ``B/3`` is split across 3 hops, so
+  ``u_2 = B/9`` and ``u_2/u_1 = 1/6 ≠ w_2/w_1 = 1/2`` — unfair to the
+  longer flow.
+* **(c)** the paper's corrected allocation: ``(r_1, r_2) = (2B/5, 3B/5)``
+  i.e. equal-per-hop shares ``(r̂_1, r̂_2) = (2B/5, B/5)``, restoring
+  ``u_1/u_2 = 2 = w_1/w_2``.
+
+All nodes being mutually in range means F2's 3-hop path has shortcuts; the
+paper uses this configuration purely as a *local-channel* illustration, and
+so do we (the virtual length still evaluates to 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.model import Flow, Network, Scenario
+
+#: Everything within a 250 m disc: one fully-connected neighborhood.
+POSITIONS_A = {
+    "A": (0.0, 0.0),
+    "B": (60.0, 0.0),
+    "C": (0.0, 60.0),
+    "D": (60.0, 60.0),
+}
+
+POSITIONS_BC = {
+    "A": (0.0, 0.0),
+    "B": (60.0, 0.0),
+    "C": (0.0, 60.0),
+    "D": (60.0, 60.0),
+    "E": (120.0, 60.0),
+    "F": (120.0, 0.0),
+}
+
+#: Paper's reference allocations (B = 1).
+PAPER_SINGLE_HOP = {"1": 2.0 / 3.0, "2": 1.0 / 3.0}          # Fig. 2(a)
+PAPER_UNFAIR_THROUGHPUT = {"1": 2.0 / 3.0, "2": 1.0 / 9.0}   # Fig. 2(b)
+PAPER_FAIR_SHARES = {"1": 2.0 / 5.0, "2": 1.0 / 5.0}         # Fig. 2(c)
+
+
+def make_single_hop_scenario(capacity: float = 1.0) -> Scenario:
+    """Fig. 2(a): two contending single-hop flows, weights 2 and 1."""
+    network = Network.from_positions(POSITIONS_A, tx_range=250.0)
+    flows = [
+        Flow("1", ["A", "B"], weight=2.0),
+        Flow("2", ["C", "D"], weight=1.0),
+    ]
+    return Scenario(network, flows, name="fig2a", capacity=capacity)
+
+
+def make_multi_hop_scenario(capacity: float = 1.0) -> Scenario:
+    """Fig. 2(b)/(c): single-hop F1 (w=2) vs three-hop F2 (w=1)."""
+    network = Network.from_positions(POSITIONS_BC, tx_range=250.0)
+    flows = [
+        Flow("1", ["A", "B"], weight=2.0),
+        Flow("2", ["C", "D", "E", "F"], weight=1.0),
+    ]
+    return Scenario(network, flows, name="fig2bc", capacity=capacity)
+
+
+def unfair_time_share_allocation(
+    scenario: Scenario, capacity: float = None
+) -> Dict[str, float]:
+    """Fig. 2(b)'s strawman: total channel *time* proportional to weight.
+
+    Flow ``i`` gets ``r_i = w_i B / Σ w`` of channel time, split evenly
+    over its ``l_i`` hops, so its end-to-end throughput is ``r_i / l_i``.
+    Returns the end-to-end throughputs.
+    """
+    b = capacity if capacity is not None else scenario.capacity
+    total_w = sum(f.weight for f in scenario.flows)
+    return {
+        f.flow_id: (f.weight * b / total_w) / f.length
+        for f in scenario.flows
+    }

@@ -1,0 +1,73 @@
+"""Scenario of Fig. 4: the weighted subflow contention graph example.
+
+Four flows with weights (1, 2, 3, 2); F2 has two hops, the rest one:
+
+* subflows ``(F1.1, F2.1, F2.2, F3.1, F4.1)`` carry weights
+  ``(1, 2, 2, 3, 2)``;
+* maximal cliques: ``{F1.1, F2.1, F2.2, F3.1}`` and ``{F3.1, F4.1}``;
+* basic shares from ``Σ w_j v_j = 1 + 4 + 3 + 2 = 10``;
+* the centralized LP (Sec. IV-C) is
+  ``max Σ r̂  s.t.  r̂1 + 2 r̂2 + r̂3 <= B,  r̂3 + r̂4 <= B`` with lower
+  bounds ``(B/10, B/5, 3B/10, B/5)``, whose optimum is
+  ``(3B/10, B/5, 3B/10, 7B/10)``;
+* the resulting *subflow* allocated shares — phase 2's weights — are
+  ``(r_{1.1}, r_{2.1}, r_{2.2}, r_{3.1}, r_{4.1})
+  = (3B/10, B/5, B/5, 3B/10, 7B/10)``.
+
+The paper specifies this example by its contention graph rather than node
+geometry, so the scenario uses an explicit contention graph.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from ..core.contention import ContentionAnalysis, contention_graph_from_pairs
+from ..core.model import Flow, Network, Scenario, SubflowId
+
+#: Paper's LP optimum (B = 1).
+PAPER_ALLOCATION = {"1": 0.3, "2": 0.2, "3": 0.3, "4": 0.7}
+PAPER_BASIC_SHARES = {"1": 0.1, "2": 0.2, "3": 0.3, "4": 0.2}
+#: Original subflow weights as listed in Sec. IV-C.
+PAPER_SUBFLOW_WEIGHTS = {
+    SubflowId("1", 1): 1.0,
+    SubflowId("2", 1): 2.0,
+    SubflowId("2", 2): 2.0,
+    SubflowId("3", 1): 3.0,
+    SubflowId("4", 1): 2.0,
+}
+
+
+def make_scenario(capacity: float = 1.0) -> Scenario:
+    """Build the Fig. 4 scenario with an abstract (link-list) network."""
+    flows = [
+        Flow("1", ["A1", "A2"], weight=1.0),
+        Flow("2", ["B1", "B2", "B3"], weight=2.0),
+        Flow("3", ["C1", "C2"], weight=3.0),
+        Flow("4", ["D1", "D2"], weight=2.0),
+    ]
+    nodes = sorted({n for f in flows for n in f.path})
+    links = [
+        (f.path[j], f.path[j + 1]) for f in flows for j in range(f.length)
+    ]
+    network = Network.from_links(nodes, links)
+    return Scenario(network, flows, name="fig4", capacity=capacity)
+
+
+def make_analysis(capacity: float = 1.0) -> ContentionAnalysis:
+    """Scenario plus the paper's explicit contention graph."""
+    scenario = make_scenario(capacity)
+    subflows = scenario.all_subflows()
+    big_clique = [
+        SubflowId("1", 1),
+        SubflowId("2", 1),
+        SubflowId("2", 2),
+        SubflowId("3", 1),
+    ]
+    pairs: List[Tuple[SubflowId, SubflowId]] = list(
+        combinations(big_clique, 2)
+    )
+    pairs.append((SubflowId("3", 1), SubflowId("4", 1)))
+    graph = contention_graph_from_pairs(subflows, pairs)
+    return ContentionAnalysis(scenario, graph)

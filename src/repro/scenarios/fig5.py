@@ -1,0 +1,50 @@
+"""Scenario of Fig. 5: the pentagon — an unachievable clique bound.
+
+Five single-hop unit-weight flows whose contention graph is the 5-cycle
+``F1 - F2 - F3 - F4 - F5 - F1``.  Maximal cliques are the five edges, so
+the weighted clique number is ``ω_Ω = 2`` and Proposition 1 bounds the
+total effective throughput by ``5B/2`` (B/2 per flow).  But a 5-cycle's
+maximum independent sets have size 2, so at most 2 flows transmit at any
+instant: any schedule's total throughput is at most ``2B``, and the uniform
+share each flow can actually sustain is ``2B/5``, not ``B/2`` — the
+fractional schedule needed for B/2-per-flow has length 5/4 > 1.
+
+The paper keeps the unattainable LP solution as phase-2 *weight factors*
+(the "allocated shares").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.contention import ContentionAnalysis, contention_graph_from_pairs
+from ..core.model import Flow, Network, Scenario, SubflowId
+
+#: Clique-bound per-flow share (unachievable) and the schedulable maximum.
+PAPER_CLIQUE_BOUND_SHARE = 0.5
+PAPER_CLIQUE_BOUND_TOTAL = 2.5
+ACHIEVABLE_UNIFORM_SHARE = 0.4
+FRACTIONAL_SCHEDULE_LENGTH = 1.25
+
+
+def make_scenario(capacity: float = 1.0) -> Scenario:
+    """Five abstract single-hop flows (geometry is immaterial)."""
+    flows = [
+        Flow(str(i), [f"S{i}", f"T{i}"], weight=1.0) for i in range(1, 6)
+    ]
+    nodes = sorted({n for f in flows for n in f.path})
+    links = [(f.path[0], f.path[1]) for f in flows]
+    network = Network.from_links(nodes, links)
+    return Scenario(network, flows, name="fig5-pentagon", capacity=capacity)
+
+
+def make_analysis(capacity: float = 1.0) -> ContentionAnalysis:
+    """Scenario plus the explicit pentagon contention graph."""
+    scenario = make_scenario(capacity)
+    subflows = scenario.all_subflows()
+    ring = [SubflowId(str(i), 1) for i in range(1, 6)]
+    pairs: List[Tuple[SubflowId, SubflowId]] = [
+        (ring[i], ring[(i + 1) % 5]) for i in range(5)
+    ]
+    graph = contention_graph_from_pairs(subflows, pairs)
+    return ContentionAnalysis(scenario, graph)

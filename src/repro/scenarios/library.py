@@ -1,0 +1,149 @@
+"""A library of classic ad hoc evaluation topologies.
+
+Beyond the paper's two scenarios, these are the standard shapes the ad
+hoc fair-scheduling literature evaluates on; all are parametric and
+shortcut-free by construction:
+
+* :func:`parallel_chains` — N disjoint multi-hop chains whose relay
+  regions overlap pairwise (a generalized Fig. 1);
+* :func:`cross` — two chains sharing a center relay (the classic
+  "cross" contention pattern);
+* :func:`grid_scenario` — flows routed across a regular grid;
+* :func:`star` — N single-hop flows converging on one sink (uplink
+  contention).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.model import Flow, Network, Scenario
+from ..routing.paths import route_flows
+
+#: Spacing that keeps consecutive nodes in range (250 m) but not
+#: next-but-one nodes: shortcut-free chains.
+CHAIN_SPACING = 200.0
+
+
+def parallel_chains(
+    num_chains: int = 2,
+    hops: int = 2,
+    chain_gap: float = 240.0,
+    weights: Optional[Sequence[float]] = None,
+    capacity: float = 1.0,
+) -> Scenario:
+    """``num_chains`` horizontal chains stacked ``chain_gap`` apart.
+
+    With the default gap (240 m), same-column nodes of adjacent chains
+    are in range while diagonal neighbors (312 m) are not: subflow j of
+    one chain contends with subflows j-1, j, j+1 of the next — a ladder
+    of overlapping contention regions.  A gap above 250 m decouples the
+    chains entirely (each becomes its own contending flow group).
+    """
+    if num_chains < 1 or hops < 1:
+        raise ValueError("need at least one chain and one hop")
+    positions = {}
+    flows: List[Flow] = []
+    for c in range(num_chains):
+        y = c * chain_gap
+        path = []
+        for h in range(hops + 1):
+            node = f"c{c}n{h}"
+            positions[node] = (h * CHAIN_SPACING, y)
+            path.append(node)
+        weight = float(weights[c]) if weights else 1.0
+        flows.append(Flow(str(c + 1), path, weight))
+    network = Network.from_positions(positions)
+    return Scenario(network, flows,
+                    name=f"parallel-{num_chains}x{hops}",
+                    capacity=capacity)
+
+
+def cross(arm_hops: int = 2, capacity: float = 1.0) -> Scenario:
+    """Two flows crossing at a shared center relay.
+
+    Flow 1 runs west->east, flow 2 south->north; both paths pass through
+    the center node, so the flows contend *and* share queueing at one
+    relay — the canonical coupled-relay pattern.
+    """
+    if arm_hops < 1:
+        raise ValueError("need at least one hop per arm")
+    positions = {"center": (0.0, 0.0)}
+    west, east, south, north = [], [], [], []
+    for i in range(1, arm_hops + 1):
+        d = i * CHAIN_SPACING
+        positions[f"w{i}"] = (-d, 0.0)
+        positions[f"e{i}"] = (d, 0.0)
+        positions[f"s{i}"] = (0.0, -d)
+        positions[f"n{i}"] = (0.0, d)
+        west.append(f"w{i}")
+        east.append(f"e{i}")
+        south.append(f"s{i}")
+        north.append(f"n{i}")
+    path1 = list(reversed(west)) + ["center"] + east
+    path2 = list(reversed(south)) + ["center"] + north
+    network = Network.from_positions(positions)
+    flows = [Flow("1", path1), Flow("2", path2)]
+    return Scenario(network, flows, name=f"cross-{arm_hops}",
+                    capacity=capacity)
+
+
+def grid_scenario(
+    side: int = 4,
+    flow_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    capacity: float = 1.0,
+) -> Scenario:
+    """A ``side x side`` grid with shortest-path flows.
+
+    Default flows: one across the top row, one down the left column —
+    they contend near the shared corner.  Node names are ``gRC`` with
+    row/column indices.
+    """
+    if side < 2:
+        raise ValueError("grid needs side >= 2")
+    positions = {
+        f"g{r}{c}": (c * CHAIN_SPACING, r * CHAIN_SPACING)
+        for r in range(side) for c in range(side)
+    }
+    network = Network.from_positions(positions)
+    if flow_pairs is None:
+        flow_pairs = [
+            (f"g0{0}", f"g0{side - 1}"),
+            (f"g{0}0", f"g{side - 1}0"),
+        ]
+    flows = route_flows(network, list(flow_pairs))
+    return Scenario(network, flows, name=f"grid-{side}",
+                    capacity=capacity)
+
+
+def star(
+    num_flows: int = 4,
+    radius: float = 200.0,
+    weights: Optional[Sequence[float]] = None,
+    capacity: float = 1.0,
+) -> Scenario:
+    """``num_flows`` single-hop uplinks to one sink.
+
+    Every flow contends with every other (all endpoints within range of
+    the sink), so the contention graph is complete: basic shares are
+    ``w_i B / Σ w`` and the paper's machinery reduces to classic
+    weighted fair queueing.
+    """
+    import math
+
+    if num_flows < 1:
+        raise ValueError("need at least one flow")
+    if radius > 250.0:
+        raise ValueError("sources must be within range of the sink")
+    positions = {"sink": (0.0, 0.0)}
+    flows = []
+    for i in range(num_flows):
+        angle = 2.0 * math.pi * i / num_flows
+        node = f"src{i}"
+        positions[node] = (radius * math.cos(angle),
+                           radius * math.sin(angle))
+        weight = float(weights[i]) if weights else 1.0
+        flows.append(Flow(str(i + 1), [node, "sink"], weight))
+    network = Network.from_positions(positions)
+    return Scenario(network, flows, name=f"star-{num_flows}",
+                    capacity=capacity)

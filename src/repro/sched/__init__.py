@@ -1,0 +1,41 @@
+"""Phase-2 scheduling systems and the simulation runner."""
+
+from .runner import SimulationRun, TrafficConfig, subflow_shares_by_node
+from .tdma import TdmaSimulation, TdmaWindow, build_tdma
+from .fluid import (
+    FluidPrediction,
+    fluid_prediction,
+    fluid_vs_measured,
+    mac_efficiency,
+    predict_for_scenario,
+)
+from .systems import (
+    DEFAULT_ALPHA,
+    build_maxmin,
+    SYSTEM_BUILDERS,
+    SystemBuild,
+    build_2pa,
+    build_80211,
+    build_two_tier,
+)
+
+__all__ = [
+    "SimulationRun",
+    "TrafficConfig",
+    "subflow_shares_by_node",
+    "SystemBuild",
+    "build_80211",
+    "build_two_tier",
+    "build_2pa",
+    "build_maxmin",
+    "SYSTEM_BUILDERS",
+    "DEFAULT_ALPHA",
+    "FluidPrediction",
+    "fluid_prediction",
+    "fluid_vs_measured",
+    "mac_efficiency",
+    "predict_for_scenario",
+    "TdmaSimulation",
+    "TdmaWindow",
+    "build_tdma",
+]

@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel: engine, RNG streams, tracing."""
+
+from .engine import Event, Simulator
+from .rng import RngRegistry
+from .trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "RngRegistry",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

@@ -1,0 +1,15 @@
+"""Traffic generation: CBR sources (the paper's workload)."""
+
+from .cbr import (
+    DEFAULT_PACKET_BYTES,
+    DEFAULT_PACKETS_PER_SECOND,
+    US,
+    CbrSource,
+)
+
+__all__ = [
+    "CbrSource",
+    "DEFAULT_PACKETS_PER_SECOND",
+    "DEFAULT_PACKET_BYTES",
+    "US",
+]

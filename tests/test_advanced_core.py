@@ -1,0 +1,157 @@
+"""Tests for the advanced core paths: feasible fairness allocation, the
+distributed infeasibility fallback, and multi-group concurrency."""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    DistributedAllocator,
+    Flow,
+    Network,
+    Scenario,
+    basic_fairness_lp_allocation,
+    check_allocation_schedulability,
+    feasible_fairness_allocation,
+    run_centralized,
+    run_distributed,
+    satisfies_fairness_constraint,
+)
+from repro.scenarios import fig1, fig5, fig6
+
+
+class TestFeasibleFairnessAllocation:
+    def test_pentagon_scaled_to_two_fifths(self):
+        analysis = fig5.make_analysis()
+        alloc = feasible_fairness_allocation(analysis)
+        for fid in alloc.shares:
+            assert alloc.share(fid) == pytest.approx(0.4, abs=1e-6)
+        report = check_allocation_schedulability(analysis, alloc.shares)
+        assert report.feasible
+        assert report.schedule_length == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig1_unchanged_when_already_feasible(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        alloc = feasible_fairness_allocation(analysis)
+        assert alloc.share("1") == pytest.approx(1 / 3)
+        assert alloc.share("2") == pytest.approx(1 / 3)
+
+    def test_keeps_weight_proportionality(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        alloc = feasible_fairness_allocation(analysis)
+        assert satisfies_fairness_constraint(
+            alloc.shares, analysis.scenario.weights(), epsilon=1e-9
+        )
+
+    def test_never_exceeds_prop1(self):
+        from repro.core import fairness_upper_bound
+
+        for make in (fig5.make_analysis,
+                     lambda: ContentionAnalysis(fig6.make_scenario())):
+            analysis = make()
+            alloc = feasible_fairness_allocation(analysis)
+            bound = fairness_upper_bound(analysis)
+            for fid in alloc.shares:
+                assert alloc.share(fid) <= bound.share(fid) + 1e-9
+
+
+def make_hidden_weight_scenario() -> Scenario:
+    """A 3-hop chain plus a heavy (w=3) single-hop flow near its tail.
+
+    Designed so the chain's source cannot overhear the heavy flow: its
+    local basic share (B/3) plus the propagated flow's source-local bound
+    (B/2) oversubscribe the shared clique ``2 r̂1 + r̂2 <= B`` — forcing
+    the distributed algorithm's feasibility-scaling fallback.
+    """
+    network = Network.from_positions({
+        "A": (0.0, 0.0), "B": (200.0, 0.0), "C": (400.0, 0.0),
+        "D": (600.0, 0.0),
+        "X": (400.0, 230.0), "Y": (400.0, 460.0),
+    })
+    flows = [
+        Flow("1", ["A", "B", "C", "D"], weight=1.0),
+        Flow("2", ["X", "Y"], weight=3.0),
+    ]
+    return Scenario(network, flows, name="hidden-weight")
+
+
+class TestDistributedFallback:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_hidden_weight_scenario()
+
+    def test_intended_contention_structure(self, scenario):
+        analysis = ContentionAnalysis(scenario)
+        cliques = sorted(
+            sorted(str(s) for s in c) for c in analysis.cliques
+        )
+        assert cliques == [
+            ["F1.1", "F1.2", "F1.3"],
+            ["F1.2", "F1.3", "F2.1"],
+        ]
+
+    def test_centralized_solution(self, scenario):
+        central = run_centralized(scenario)
+        # denom = 1*3 + 3*1 = 6; optimum pushes r1 to its floor.
+        assert central.share("1") == pytest.approx(1 / 6, abs=1e-6)
+        assert central.share("2") == pytest.approx(2 / 3, abs=1e-6)
+
+    def test_source_a_local_lp_is_initially_infeasible(self, scenario):
+        """Unscaled bounds: r1 >= B/3 and r2 >= B/2 against
+        2 r1 + r2 <= B, i.e. 7/6 > 1."""
+        allocator = DistributedAllocator(scenario)
+        allocator.build_local_views()
+        assert allocator.local_per_unit_share("A") == pytest.approx(1 / 3)
+        assert allocator.local_per_unit_share("X") == pytest.approx(1 / 6)
+
+    def test_fallback_scales_bounds_to_six_sevenths(self, scenario):
+        result = run_distributed(scenario)
+        # scale = 1 / (2/3 + 1/2) = 6/7; A adopts r1 = (1/3)(6/7) = 2/7.
+        assert result.share("1") == pytest.approx(2 / 7, abs=1e-5)
+        # X's own LP is feasible without scaling: r2 = 2/3.
+        assert result.share("2") == pytest.approx(2 / 3, abs=1e-5)
+
+    def test_fallback_result_respects_known_cliques(self, scenario):
+        allocator = DistributedAllocator(scenario)
+        allocator.run()
+        problem = allocator.problems["A"]
+        assert problem.lp.is_feasible(problem.solution.values, tol=1e-6)
+
+
+class TestMultipleGroups:
+    def make_two_group_scenario(self):
+        """Two independent Fig.-1-style regions, far apart."""
+        positions = {}
+        for prefix, dx in (("L", 0.0), ("R", 5000.0)):
+            for name, x in (("A", 0), ("B", 200), ("C", 400)):
+                positions[f"{prefix}{name}"] = (x + dx, 0.0)
+        network = Network.from_positions(positions)
+        flows = [
+            Flow("left", ["LA", "LB", "LC"]),
+            Flow("right", ["RA", "RB", "RC"]),
+        ]
+        return Scenario(network, flows, name="two-groups")
+
+    def test_groups_are_disjoint(self):
+        analysis = ContentionAnalysis(self.make_two_group_scenario())
+        assert len(analysis.groups) == 2
+
+    def test_each_group_allocated_independently(self):
+        analysis = ContentionAnalysis(self.make_two_group_scenario())
+        alloc = basic_fairness_lp_allocation(analysis)
+        # Each flow alone in its group: bounded by its own 2-subflow
+        # clique at B/2.
+        assert alloc.share("left") == pytest.approx(0.5)
+        assert alloc.share("right") == pytest.approx(0.5)
+
+    def test_groups_transmit_concurrently_in_simulation(self):
+        """Total effective throughput ~2x one group's: spatial reuse."""
+        from repro.sched import build_2pa
+
+        scenario = self.make_two_group_scenario()
+        build = build_2pa(scenario, "centralized", seed=1)
+        metrics = build.run.run(seconds=5.0)
+        left = metrics.flows["left"].delivered_end_to_end
+        right = metrics.flows["right"].delivered_end_to_end
+        assert left > 400
+        assert right == pytest.approx(left, rel=0.1)
+        assert metrics.total_lost_packets() <= 2

@@ -1,0 +1,187 @@
+"""Tests for every allocation strategy against the paper's numbers."""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_allocation,
+    basic_fairness_lp_allocation,
+    fairness_constrained_allocation,
+    fairness_upper_bound,
+    naive_allocation,
+    satisfies_basic_fairness,
+    satisfies_fairness_constraint,
+    single_hop_optimal_allocation,
+    total_single_hop_throughput,
+)
+from repro.core.bounds import bound_vs_basic_consistency, max_subflows_per_clique
+from repro.scenarios import fig1, fig2, fig4, fig5, fig6
+
+
+@pytest.fixture(scope="module")
+def fig1_analysis():
+    return ContentionAnalysis(fig1.make_scenario())
+
+
+@pytest.fixture(scope="module")
+def fig6_analysis():
+    return ContentionAnalysis(fig6.make_scenario())
+
+
+class TestFig1:
+    def test_naive(self, fig1_analysis):
+        naive = naive_allocation(fig1_analysis)
+        assert naive.share("1") == pytest.approx(0.25)
+        assert naive.share("2") == pytest.approx(0.25)
+
+    def test_basic(self, fig1_analysis):
+        basic = basic_allocation(fig1_analysis)
+        assert basic.shares == pytest.approx(fig1.PAPER_BASIC_SHARES)
+
+    def test_fairness_constrained(self, fig1_analysis):
+        alloc = fairness_constrained_allocation(fig1_analysis)
+        assert alloc.share("1") == pytest.approx(1 / 3)
+        assert alloc.share("2") == pytest.approx(1 / 3)
+        assert alloc.total_effective_throughput == pytest.approx(2 / 3)
+
+    def test_lp_optimal(self, fig1_analysis):
+        alloc = basic_fairness_lp_allocation(fig1_analysis)
+        assert alloc.share("1") == pytest.approx(0.5)
+        assert alloc.share("2") == pytest.approx(0.25)
+        assert alloc.total_effective_throughput == pytest.approx(0.75)
+
+    def test_lp_supplies_basic_fairness(self, fig1_analysis):
+        alloc = basic_fairness_lp_allocation(fig1_analysis)
+        assert satisfies_basic_fairness(
+            alloc.shares, fig1_analysis.scenario.flows
+        )
+
+    def test_two_tier_single_hop_optimum(self, fig1_analysis):
+        tt = single_hop_optimal_allocation(fig1_analysis)
+        expected = {
+            ("1", 1): 0.75, ("1", 2): 0.25,
+            ("2", 1): 0.375, ("2", 2): 0.375,
+        }
+        for sid, share in tt.subflow_shares.items():
+            assert share == pytest.approx(
+                expected[(sid.flow, sid.hop)], abs=1e-5
+            )
+        assert tt.shares["1"] == pytest.approx(0.25, abs=1e-5)
+        assert tt.shares["2"] == pytest.approx(0.375, abs=1e-5)
+        assert tt.total_effective_throughput == pytest.approx(
+            0.625, abs=1e-4
+        )
+        assert total_single_hop_throughput(tt) == pytest.approx(
+            1.75, abs=1e-4
+        )
+
+    def test_end_to_end_beats_single_hop_on_effective_total(
+        self, fig1_analysis
+    ):
+        """The paper's headline comparison: 3B/4 > 5B/8."""
+        lp = basic_fairness_lp_allocation(fig1_analysis)
+        tt = single_hop_optimal_allocation(fig1_analysis)
+        assert lp.total_effective_throughput > (
+            tt.total_effective_throughput + 0.1
+        )
+
+
+class TestFig2:
+    def test_single_hop_weighted(self):
+        analysis = ContentionAnalysis(fig2.make_single_hop_scenario())
+        alloc = fairness_constrained_allocation(analysis)
+        assert alloc.shares == pytest.approx(fig2.PAPER_SINGLE_HOP)
+
+    def test_multi_hop_fair_shares(self):
+        analysis = ContentionAnalysis(fig2.make_multi_hop_scenario())
+        alloc = basic_fairness_lp_allocation(analysis)
+        assert alloc.shares == pytest.approx(fig2.PAPER_FAIR_SHARES)
+
+    def test_unfair_strawman_penalizes_long_flow(self):
+        scenario = fig2.make_multi_hop_scenario()
+        unfair = fig2.unfair_time_share_allocation(scenario)
+        assert unfair == pytest.approx(fig2.PAPER_UNFAIR_THROUGHPUT)
+        # u2/u1 = 1/6 instead of w2/w1 = 1/2
+        assert unfair["2"] / unfair["1"] == pytest.approx(1 / 6)
+
+
+class TestFig4:
+    def test_lp_allocation(self):
+        analysis = fig4.make_analysis()
+        alloc = basic_fairness_lp_allocation(analysis)
+        for fid, expected in fig4.PAPER_ALLOCATION.items():
+            assert alloc.share(fid) == pytest.approx(expected, abs=1e-6)
+
+    def test_respects_weighted_basic_shares(self):
+        analysis = fig4.make_analysis()
+        alloc = basic_fairness_lp_allocation(analysis)
+        assert satisfies_basic_fairness(alloc.shares,
+                                        analysis.scenario.flows)
+
+    def test_weighted_clique_number(self):
+        analysis = fig4.make_analysis()
+        # clique {F1.1, F2.1, F2.2, F3.1} weights 1+2+2+3 = 8
+        assert analysis.weighted_clique_number() == 8.0
+
+
+class TestFig5:
+    def test_bound_unachievable(self):
+        analysis = fig5.make_analysis()
+        bound = fairness_upper_bound(analysis)
+        assert bound.total_effective_throughput == pytest.approx(2.5)
+        alloc = basic_fairness_lp_allocation(analysis)
+        for fid in alloc.shares:
+            assert alloc.share(fid) == pytest.approx(0.5)
+
+
+class TestFig6:
+    def test_centralized_lp(self, fig6_analysis):
+        alloc = basic_fairness_lp_allocation(fig6_analysis)
+        for fid, expected in fig6.PAPER_CENTRALIZED.items():
+            assert alloc.share(fid) == pytest.approx(expected, abs=1e-6)
+
+    def test_lp_satisfies_every_clique(self, fig6_analysis):
+        alloc = basic_fairness_lp_allocation(fig6_analysis)
+        for coeffs in fig6_analysis.all_coefficients():
+            load = sum(alloc.share(fid) * n for fid, n in coeffs.items())
+            assert load <= 1.0 + 1e-9
+
+    def test_basic_shares_are_eighth(self, fig6_analysis):
+        basic = basic_allocation(fig6_analysis)
+        for fid in "12345":
+            assert basic.share(fid) == pytest.approx(0.125)
+
+    def test_fairness_constrained_uses_weighted_clique_number(
+        self, fig6_analysis
+    ):
+        alloc = fairness_constrained_allocation(fig6_analysis)
+        # ω_Ω = 3 (three F1 subflows in one clique)
+        for fid in "12345":
+            assert alloc.share(fid) == pytest.approx(1 / 3)
+        assert satisfies_fairness_constraint(
+            alloc.shares, fig6_analysis.scenario.weights()
+        )
+
+
+class TestBoundConsistency:
+    @pytest.mark.parametrize("make", [
+        lambda: ContentionAnalysis(fig1.make_scenario()),
+        lambda: ContentionAnalysis(fig6.make_scenario()),
+        fig4.make_analysis,
+        fig5.make_analysis,
+    ])
+    def test_omega_below_weighted_virtual_lengths(self, make):
+        assert bound_vs_basic_consistency(make())
+
+    def test_max_subflows_per_clique_fig6(self, fig6_analysis):
+        worst = max_subflows_per_clique(fig6_analysis)
+        assert worst["1"] == 3
+        assert worst["4"] == 2
+        assert worst["2"] == 1
+
+    def test_bound_dominates_lp_per_flow(self, fig6_analysis):
+        """Prop. 1 share >= basic share for every flow."""
+        bound = fairness_upper_bound(fig6_analysis)
+        basic = basic_allocation(fig6_analysis)
+        for fid in "12345":
+            assert bound.share(fid) >= basic.share(fid) - 1e-9

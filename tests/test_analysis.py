@@ -1,0 +1,111 @@
+"""Tests for the post-hoc metrics analysis module."""
+
+import pytest
+
+from repro.core.model import SubflowId
+from repro.metrics import (
+    MetricsCollector,
+    intra_flow_balance,
+    loss_breakdown,
+    measured_fairness_index,
+    share_adherence,
+    utilization,
+)
+from repro.net.packet import DataPacket
+from repro.scenarios import fig1
+
+
+@pytest.fixture
+def metrics():
+    m = MetricsCollector(fig1.make_scenario())
+    m.duration = 1_000_000.0
+    return m
+
+
+def pkt(m, flow, hop):
+    path = tuple(m.scenario.flow(flow).path)
+    return DataPacket(flow, path, 512, 0.0, hop=hop)
+
+
+def deliver(m, flow, hop, n):
+    for _ in range(n):
+        m.record_hop_delivery(pkt(m, flow, hop))
+
+
+class TestShareAdherence:
+    def test_perfect_tracking(self, metrics):
+        deliver(metrics, "1", 2, 100)
+        deliver(metrics, "2", 2, 50)
+        report = share_adherence(metrics, {"1": 0.5, "2": 0.25})
+        assert report.adherence_index == pytest.approx(1.0)
+        assert report.max_relative_error == pytest.approx(0.0)
+        assert report.is_tight
+
+    def test_skewed_tracking(self, metrics):
+        deliver(metrics, "1", 2, 100)
+        deliver(metrics, "2", 2, 100)  # should be 50 under 2:1 targets
+        report = share_adherence(metrics, {"1": 0.5, "2": 0.25})
+        assert report.adherence_index < 0.95
+        assert not report.is_tight
+
+    def test_zero_target_rejected(self, metrics):
+        with pytest.raises(ValueError):
+            share_adherence(metrics, {"1": 0.0})
+
+
+class TestFairnessIndex:
+    def test_weighted_normalization(self, metrics):
+        deliver(metrics, "1", 2, 100)
+        deliver(metrics, "2", 2, 50)
+        # Unweighted: unequal; with weights (2, 1): perfectly fair.
+        assert measured_fairness_index(metrics) < 1.0
+        assert measured_fairness_index(
+            metrics, {"1": 2.0, "2": 1.0}
+        ) == pytest.approx(1.0)
+
+
+class TestIntraFlowBalance:
+    def test_balanced(self, metrics):
+        deliver(metrics, "1", 1, 50)
+        deliver(metrics, "1", 2, 50)
+        assert intra_flow_balance(metrics)["1"] == pytest.approx(1.0)
+
+    def test_starved_downstream(self, metrics):
+        deliver(metrics, "1", 1, 100)
+        deliver(metrics, "1", 2, 10)
+        assert intra_flow_balance(metrics)["1"] == pytest.approx(0.1)
+
+    def test_no_traffic(self, metrics):
+        assert intra_flow_balance(metrics)["1"] == 1.0
+
+
+class TestLossBreakdown:
+    def test_split_by_mechanism(self, metrics):
+        metrics.record_relay_drop(pkt(metrics, "1", 2))
+        metrics.record_relay_drop(pkt(metrics, "1", 2))
+        metrics.record_mac_drop(pkt(metrics, "2", 2))
+        metrics.record_source_drop("1")
+        bd = loss_breakdown(metrics)
+        assert bd.relay_queue_drops["1"] == 2
+        assert bd.downstream_mac_drops["2"] == 1
+        assert bd.source_drops["1"] == 1
+        assert bd.total_in_network == 3
+        assert bd.dominated_by_buffers()
+
+    def test_mac_dominated(self, metrics):
+        metrics.record_mac_drop(pkt(metrics, "1", 2))
+        metrics.record_mac_drop(pkt(metrics, "1", 2))
+        metrics.record_relay_drop(pkt(metrics, "1", 2))
+        assert not loss_breakdown(metrics).dominated_by_buffers()
+
+
+class TestUtilization:
+    def test_value(self, metrics):
+        deliver(metrics, "1", 2, 100)
+        # 100 pkts x 4096 bits over 2 Mbps x 1 s.
+        assert utilization(metrics) == pytest.approx(0.2048)
+
+    def test_requires_duration(self):
+        m = MetricsCollector(fig1.make_scenario())
+        with pytest.raises(RuntimeError):
+            utilization(m)

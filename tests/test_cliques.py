@@ -1,0 +1,111 @@
+"""Tests for maximal-clique enumeration (cross-checked against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    cliques_containing,
+    is_maximal_clique,
+    max_weight_clique,
+    maximal_cliques,
+    to_networkx,
+    weighted_clique_number,
+    weighted_clique_size,
+)
+
+
+def random_graph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    g = Graph()
+    for i in range(n):
+        g.add_vertex(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestMaximalCliques:
+    def test_empty_graph(self):
+        assert maximal_cliques(Graph()) == []
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex("a")
+        assert maximal_cliques(g) == [frozenset({"a"})]
+
+    def test_triangle_plus_pendant(self):
+        g = Graph.from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        cliques = set(maximal_cliques(g))
+        assert cliques == {frozenset("abc"), frozenset("cd")}
+
+    def test_path_cliques_are_edges(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(4)])
+        cliques = maximal_cliques(g)
+        assert all(len(c) == 2 for c in cliques)
+        assert len(cliques) == 4
+
+    def test_deterministic_order(self):
+        g = random_graph(12, 0.5, seed=3)
+        assert maximal_cliques(g) == maximal_cliques(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        g = random_graph(14, 0.45, seed)
+        ours = {frozenset(c) for c in maximal_cliques(g)}
+        theirs = {frozenset(c) for c in nx.find_cliques(to_networkx(g))}
+        assert ours == theirs
+
+    def test_every_result_is_maximal(self):
+        g = random_graph(12, 0.5, seed=11)
+        for clique in maximal_cliques(g):
+            assert is_maximal_clique(g, clique)
+
+
+class TestWeightedCliques:
+    def test_weighted_clique_size(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert weighted_clique_size(["a", "c"], weights) == 4.0
+
+    def test_weighted_clique_number_triangle(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c"),
+                              ("c", "d")])
+        weights = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 5.0}
+        assert weighted_clique_number(g, weights) == 6.0  # {c, d}
+
+    def test_weighted_clique_number_empty(self):
+        assert weighted_clique_number(Graph(), {}) == 0.0
+
+    def test_max_weight_clique(self):
+        g = Graph.from_edges([("a", "b"), ("c", "d")])
+        weights = {"a": 1.0, "b": 1.0, "c": 4.0, "d": 1.0}
+        clique, size = max_weight_clique(g, weights)
+        assert clique == frozenset({"c", "d"})
+        assert size == 5.0
+
+    def test_max_weight_clique_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_weight_clique(Graph(), {})
+
+
+class TestHelpers:
+    def test_cliques_containing(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        cliques = maximal_cliques(g)
+        with_b = cliques_containing(cliques, "b")
+        assert len(with_b) == 2
+        assert cliques_containing(cliques, "zz") == []
+
+    def test_is_maximal_clique_rejects_non_clique(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert not is_maximal_clique(g, ["a", "c"])
+
+    def test_is_maximal_clique_rejects_extendable(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        assert not is_maximal_clique(g, ["a", "b"])
+        assert is_maximal_clique(g, ["a", "b", "c"])

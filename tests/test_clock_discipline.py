@@ -1,0 +1,127 @@
+"""Unit tests for the virtual-clock discipline fixes.
+
+Both behaviours were found by running the scheduler on topologies the
+paper never simulated (see DESIGN.md §5.7): per-packet clock advance
+with multiple backlogged queues, and lag-credit preservation across
+momentary queue drains.
+"""
+
+import pytest
+
+from repro.core.model import SubflowId
+from repro.mac import FairBackoffPolicy, MacTimings
+from repro.net.packet import DataPacket, TagInfo
+
+T = MacTimings()
+
+
+def pkt(flow, seq=1):
+    return DataPacket(flow, (f"{flow}a", f"{flow}b"), 512, 0.0, seq=seq)
+
+
+class TestMultiQueueClockAdvance:
+    def test_clock_advances_per_packet_not_per_tagging(self):
+        """Two queues tagged at the same clock: two sends must advance
+        the clock by two node-share service times."""
+        pol = FairBackoffPolicy("n", T, {
+            SubflowId("x", 1): 0.25, SubflowId("y", 1): 0.25,
+        })
+        px, py = pkt("x"), pkt("y")
+        pol.enqueue(px, 0.0)
+        pol.enqueue(py, 0.0)
+        # Tag both HOL packets at clock 0.
+        pol.next_packet(0.0)
+        per_packet = 512 * 8 / (0.5 * T.data_rate)
+        pol.on_success(px, 10.0)
+        assert pol.virtual_clock == pytest.approx(per_packet)
+        pol.next_packet(10.0)
+        pol.on_success(py, 20.0)
+        assert pol.virtual_clock == pytest.approx(2 * per_packet)
+
+    def test_single_queue_behaviour_unchanged(self):
+        pol = FairBackoffPolicy("n", T, {SubflowId("x", 1): 0.5})
+        p = pkt("x")
+        pol.enqueue(p, 0.0)
+        pol.next_packet(0.0)
+        pol.on_success(p, 5.0)
+        assert pol.virtual_clock == pytest.approx(
+            512 * 8 / (0.5 * T.data_rate)
+        )
+
+
+class TestIdleResyncGuard:
+    def make(self):
+        return FairBackoffPolicy("n", T, {SubflowId("x", 1): 0.5},
+                                 idle_resync_us=250_000.0)
+
+    def test_first_enqueue_resyncs_to_neighborhood(self):
+        pol = self.make()
+        pol.on_overheard_tags(TagInfo("z", SubflowId("9", 1), 5000.0),
+                              now=100.0)
+        pol.enqueue(pkt("x"), 200.0)
+        assert pol.virtual_clock == pytest.approx(5000.0)
+
+    def test_momentary_drain_keeps_lag_credit(self):
+        """Queue empties briefly: the clock must NOT jump forward."""
+        pol = self.make()
+        p1 = pkt("x", 1)
+        pol.enqueue(p1, 0.0)
+        pol.next_packet(0.0)
+        pol.on_success(p1, 1000.0)  # queue now empty
+        clock_after = pol.virtual_clock
+        pol.on_overheard_tags(
+            TagInfo("z", SubflowId("9", 1), 9e6), now=2000.0
+        )
+        pol.enqueue(pkt("x", 2), 3000.0)  # only 3 ms of idleness
+        assert pol.virtual_clock == clock_after
+
+    def test_sustained_idleness_resyncs(self):
+        pol = self.make()
+        p1 = pkt("x", 1)
+        pol.enqueue(p1, 0.0)
+        pol.next_packet(0.0)
+        pol.on_success(p1, 1000.0)
+        pol.on_overheard_tags(
+            TagInfo("z", SubflowId("9", 1), 9e6), now=400_000.0
+        )
+        pol.enqueue(pkt("x", 2), 500_000.0)  # ~0.5 s idle
+        assert pol.virtual_clock == pytest.approx(9e6)
+
+    def test_stale_neighbor_tags_do_not_resync(self):
+        """Aged-out table entries are ignored even on sustained idle."""
+        pol = self.make()
+        pol.on_overheard_tags(TagInfo("z", SubflowId("9", 1), 9e6),
+                              now=0.0)
+        # First enqueue at t = 2 s: the entry is older than the 1 s
+        # table timeout.
+        pol.enqueue(pkt("x"), 2_000_000.0)
+        assert pol.virtual_clock == 0.0
+
+
+class TestGridRegression:
+    def test_shared_source_grid_stays_balanced(self):
+        """Regression for the multi-queue clock bug: two flows sharing
+        their source node on a grid must serve up- and downstream hops
+        equally (previously a stable 2:1 imbalance with 70% loss)."""
+        from repro.metrics.analysis import intra_flow_balance
+        from repro.sched import build_2pa
+        from repro.scenarios import grid_scenario
+
+        build = build_2pa(grid_scenario(4), "centralized", seed=3)
+        metrics = build.run.run(seconds=5.0)
+        assert metrics.loss_ratio() < 0.02
+        for fid, balance in intra_flow_balance(metrics).items():
+            assert balance > 0.95, fid
+
+    def test_cross_relay_keeps_credit(self):
+        """Regression for the resync credit theft: the cross topology's
+        relays stay within ~15% of their upstream feeders."""
+        from repro.metrics.analysis import intra_flow_balance
+        from repro.sched import build_2pa
+        from repro.scenarios import cross
+
+        build = build_2pa(cross(2), "centralized", seed=3)
+        metrics = build.run.run(seconds=15.0)
+        assert metrics.loss_ratio() < 0.1
+        for fid, balance in intra_flow_balance(metrics).items():
+            assert balance > 0.85, fid

@@ -1,0 +1,98 @@
+"""Tests for coloring and the virtual-length combinatorics (Fig. 3)."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    chain_coloring,
+    chain_contention_graph,
+    color_classes,
+    greedy_coloring,
+    is_proper_coloring,
+    num_colors,
+)
+
+
+class TestGreedyColoring:
+    def test_empty(self):
+        assert greedy_coloring(Graph()) == {}
+        assert num_colors({}) == 0
+
+    def test_triangle_needs_three(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        coloring = greedy_coloring(g)
+        assert num_colors(coloring) == 3
+        assert is_proper_coloring(g, coloring)
+
+    def test_bipartite_uses_two(self):
+        g = Graph.from_edges([("a", "x"), ("a", "y"), ("b", "x"),
+                              ("b", "y")])
+        coloring = greedy_coloring(g, order=["a", "x", "b", "y"])
+        assert num_colors(coloring) == 2
+        assert is_proper_coloring(g, coloring)
+
+    def test_respects_custom_order(self):
+        g = Graph.from_edges([("a", "b")])
+        coloring = greedy_coloring(g, order=["b", "a"])
+        assert coloring["b"] == 0
+        assert coloring["a"] == 1
+
+
+class TestChainContentionGraph:
+    def test_single_hop(self):
+        g = chain_contention_graph(1)
+        assert g.num_vertices() == 1
+        assert g.num_edges() == 0
+
+    def test_two_hops_contend(self):
+        g = chain_contention_graph(2)
+        assert g.has_edge(0, 1)
+
+    def test_square_of_path_structure(self):
+        """Subflow j contends with j±1 and j±2, never j±3."""
+        g = chain_contention_graph(6)
+        for j in range(6):
+            for k in range(j + 1, 6):
+                if k - j <= 2:
+                    assert g.has_edge(j, k), (j, k)
+                else:
+                    assert not g.has_edge(j, k), (j, k)
+
+    def test_maximal_cliques_are_consecutive_triples(self):
+        from repro.graphs import maximal_cliques
+
+        g = chain_contention_graph(6)
+        cliques = maximal_cliques(g)
+        assert all(len(c) == 3 for c in cliques)
+        assert len(cliques) == 4  # {0,1,2}, {1,2,3}, {2,3,4}, {3,4,5}
+
+
+class TestChainColoring:
+    def test_fig3_example_six_hops(self):
+        """The paper's sets {F1.1,F1.4}, {F1.2,F1.5}, {F1.3,F1.6}."""
+        coloring = chain_coloring(6)
+        classes = [sorted(c) for c in color_classes(coloring)]
+        assert classes == [[0, 3], [1, 4], [2, 5]]
+
+    @pytest.mark.parametrize("hops", range(1, 12))
+    def test_proper_on_square_of_path(self, hops):
+        g = chain_contention_graph(hops)
+        coloring = chain_coloring(hops)
+        assert is_proper_coloring(g, coloring)
+
+    @pytest.mark.parametrize("hops,colors", [(1, 1), (2, 2), (3, 3),
+                                             (4, 3), (9, 3)])
+    def test_color_count_is_virtual_length(self, hops, colors):
+        assert num_colors(chain_coloring(hops)) == colors
+
+    def test_zero_hops(self):
+        assert chain_coloring(0) == {}
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            chain_coloring(-1)
+
+    def test_classes_are_independent_sets(self):
+        g = chain_contention_graph(8)
+        for cls in color_classes(chain_coloring(8)):
+            assert g.is_independent_set(cls)

@@ -1,0 +1,81 @@
+"""Tests for connected components and BFS utilities."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bfs_hop_counts,
+    bfs_reachable,
+    bfs_shortest_path,
+    connected_components,
+    is_connected,
+    to_networkx,
+)
+
+
+def two_islands():
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("x", "y")],
+                            vertices=["lone"])
+
+
+class TestComponents:
+    def test_component_partition(self):
+        comps = connected_components(two_islands())
+        assert sorted(sorted(c) for c in comps) == [
+            ["a", "b", "c"], ["lone"], ["x", "y"]
+        ]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_is_connected(self):
+        assert is_connected(Graph.from_edges([("a", "b"), ("b", "c")]))
+        assert not is_connected(two_islands())
+        assert is_connected(Graph())  # vacuous
+
+    def test_reachable(self):
+        g = two_islands()
+        assert bfs_reachable(g, "a") == {"a", "b", "c"}
+        assert bfs_reachable(g, "lone") == {"lone"}
+
+
+class TestShortestPaths:
+    def test_direct_path(self):
+        g = Graph.from_edges([("a", "b")])
+        assert bfs_shortest_path(g, "a", "b") == ["a", "b"]
+
+    def test_source_equals_target(self):
+        g = Graph.from_edges([("a", "b")])
+        assert bfs_shortest_path(g, "a", "a") == ["a"]
+
+    def test_no_path(self):
+        assert bfs_shortest_path(two_islands(), "a", "x") is None
+
+    def test_shortest_over_longer_alternative(self):
+        g = Graph.from_edges(
+            [("s", "m"), ("m", "t"), ("s", "x"), ("x", "y"), ("y", "t")]
+        )
+        path = bfs_shortest_path(g, "s", "t")
+        assert path == ["s", "m", "t"]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lengths_match_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        g = Graph()
+        for i in range(12):
+            g.add_vertex(i)
+        for i in range(12):
+            for j in range(i + 1, 12):
+                if rng.random() < 0.3:
+                    g.add_edge(i, j)
+        nx_g = to_networkx(g)
+        lengths = dict(nx.shortest_path_length(nx_g, source=0))
+        ours = bfs_hop_counts(g, 0)
+        assert ours == lengths
+
+    def test_hop_counts(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+        counts = bfs_hop_counts(g, "a")
+        assert counts == {"a": 0, "b": 1, "c": 2, "d": 3}

@@ -1,0 +1,143 @@
+"""Tests for the contention model against the paper's figures."""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    Flow,
+    Network,
+    Scenario,
+    SubflowId,
+    contending_flow_groups,
+    flows_contend,
+    subflow_contention_graph,
+    subflows_contend,
+)
+from repro.scenarios import fig1, fig6
+
+
+def sids(clique):
+    return sorted(str(s) for s in clique)
+
+
+class TestPairwiseContention:
+    def test_adjacent_hops_always_contend(self):
+        net = Network.from_positions(
+            {"a": (0, 0), "b": (200, 0), "c": (400, 0)}
+        )
+        f = Flow("1", ["a", "b", "c"])
+        s1, s2 = f.subflows
+        assert subflows_contend(net, s1, s2)
+
+    def test_subflow_never_contends_with_itself(self):
+        net = Network.from_positions({"a": (0, 0), "b": (200, 0)})
+        s = Flow("1", ["a", "b"]).subflows[0]
+        assert not subflows_contend(net, s, s)
+
+    def test_far_subflows_do_not_contend(self):
+        net = Network.from_positions(
+            {"a": (0, 0), "b": (200, 0), "x": (2000, 0), "y": (2200, 0)}
+        )
+        fa = Flow("1", ["a", "b"]).subflows[0]
+        fb = Flow("2", ["x", "y"]).subflows[0]
+        assert not subflows_contend(net, fa, fb)
+        assert not flows_contend(net, Flow("1", ["a", "b"]),
+                                 Flow("2", ["x", "y"]))
+
+    def test_receiver_side_contention(self):
+        # receivers within range, senders far apart
+        net = Network.from_positions(
+            {"s1": (0, 0), "r1": (240, 0), "r2": (430, 0),
+             "s2": (670, 0)}
+        )
+        fa = Flow("1", ["s1", "r1"]).subflows[0]
+        fb = Flow("2", ["s2", "r2"]).subflows[0]
+        assert net.in_range("r1", "r2")
+        assert not net.in_range("s1", "s2")
+        assert subflows_contend(net, fa, fb)
+
+
+class TestFig1Structure:
+    def test_cliques(self):
+        scenario = fig1.make_scenario()
+        analysis = ContentionAnalysis(scenario)
+        cliques = sorted(sids(c) for c in analysis.cliques)
+        assert cliques == [["F1.1", "F1.2"], ["F1.2", "F2.1", "F2.2"]]
+
+    def test_coefficients(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        coeffs = analysis.all_coefficients()
+        assert {"1": 1, "2": 2} in coeffs
+        assert {"1": 2} in coeffs
+
+    def test_single_group(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        assert len(analysis.groups) == 1
+        assert {f.flow_id for f in analysis.groups[0]} == {"1", "2"}
+
+    def test_weighted_clique_number(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        assert analysis.weighted_clique_number() == 3.0
+
+
+class TestFig6Structure:
+    def test_exactly_the_papers_six_cliques(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        cliques = sorted(sids(c) for c in analysis.cliques)
+        assert cliques == [
+            ["F1.1", "F1.2", "F1.3"],
+            ["F1.2", "F1.3", "F1.4"],
+            ["F1.3", "F1.4", "F2.1"],
+            ["F2.1", "F3.1"],
+            ["F3.1", "F4.1"],
+            ["F4.1", "F4.2", "F5.1"],
+        ]
+
+    def test_no_flow_shortcuts(self):
+        scenario = fig6.make_scenario()
+        for flow in scenario.flows:
+            assert not scenario.network.has_shortcut(flow)
+
+    def test_single_contending_group(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        assert len(analysis.groups) == 1
+
+    def test_group_of(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        group = analysis.group_of("3")
+        assert {f.flow_id for f in group} == {"1", "2", "3", "4", "5"}
+        with pytest.raises(KeyError):
+            analysis.group_of("99")
+
+
+class TestGroups:
+    def test_disjoint_regions_split_groups(self):
+        net = Network.from_positions({
+            "a": (0, 0), "b": (200, 0),
+            "x": (5000, 0), "y": (5200, 0),
+        })
+        flows = [Flow("1", ["a", "b"]), Flow("2", ["x", "y"])]
+        groups = contending_flow_groups(net, flows)
+        assert len(groups) == 2
+
+    def test_transitive_grouping(self):
+        # 1 contends with 2, 2 with 3, but 1 not with 3 -> one group.
+        net = Network.from_positions({
+            "a": (0, 0), "b": (200, 0),
+            "c": (430, 0), "d": (630, 0),
+            "e": (860, 0), "f": (1060, 0),
+        })
+        flows = [Flow("1", ["a", "b"]), Flow("2", ["c", "d"]),
+                 Flow("3", ["e", "f"])]
+        assert flows_contend(net, flows[0], flows[1])
+        assert flows_contend(net, flows[1], flows[2])
+        assert not flows_contend(net, flows[0], flows[2])
+        groups = contending_flow_groups(net, flows)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_graph_vertices_carry_weights(self):
+        net = Network.from_positions({"a": (0, 0), "b": (200, 0)})
+        g = subflow_contention_graph(net, [Flow("1", ["a", "b"], 2.5)])
+        assert g.attr(SubflowId("1", 1), "weight") == 2.5
+        assert g.attr(SubflowId("1", 1), "flow") == "1"

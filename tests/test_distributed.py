@@ -1,0 +1,155 @@
+"""Tests for the distributed phase-1 algorithm (Table I reproduction)."""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    DistributedAllocator,
+    run_centralized,
+    run_distributed,
+    satisfies_basic_fairness,
+)
+from repro.scenarios import fig1, fig6
+
+
+@pytest.fixture(scope="module")
+def allocator():
+    alloc = DistributedAllocator(fig6.make_scenario())
+    alloc.run()
+    return alloc
+
+
+def clique_names(cliques):
+    return sorted(sorted(str(s) for s in c) for c in cliques)
+
+
+class TestLocalViews(object):
+    def test_node_a_knows_only_f1(self, allocator):
+        view = allocator.views["A"]
+        assert {sid.flow for sid in view.known} == {"1"}
+        assert clique_names(view.local_cliques) == [
+            ["F1.1", "F1.2", "F1.3"]
+        ]
+
+    def test_node_f_view_matches_table1(self, allocator):
+        view = allocator.views["F"]
+        assert {sid.flow for sid in view.known} == {"1", "2", "3"}
+        assert clique_names(view.local_cliques) == [
+            ["F1.3", "F1.4", "F2.1"],
+            ["F2.1", "F3.1"],
+        ]
+
+    def test_node_h_view_matches_table1(self, allocator):
+        view = allocator.views["H"]
+        assert {sid.flow for sid in view.known} == {"2", "3", "4"}
+        assert clique_names(view.local_cliques) == [
+            ["F2.1", "F3.1"],
+            ["F3.1", "F4.1"],
+        ]
+
+    def test_node_j_view_matches_table1(self, allocator):
+        view = allocator.views["J"]
+        assert {sid.flow for sid in view.known} == {"3", "4", "5"}
+        assert clique_names(view.local_cliques) == [
+            ["F3.1", "F4.1"],
+            ["F4.1", "F4.2", "F5.1"],
+        ]
+
+    def test_propagation_brings_omega3_to_a(self, allocator):
+        view = allocator.views["A"]
+        all_cliques = clique_names(view.all_cliques())
+        assert ["F1.3", "F1.4", "F2.1"] in all_cliques
+        assert ["F1.2", "F1.3", "F1.4"] in all_cliques
+
+
+class TestLocalProblems:
+    def test_table1_basic_per_unit(self, allocator):
+        for node, expected in fig6.TABLE1_LOCAL_BASIC.items():
+            assert allocator.problems[node].basic_per_unit == pytest.approx(
+                expected
+            ), node
+
+    def test_table1_solutions(self, allocator):
+        for node, expected in fig6.TABLE1_LOCAL_SOLUTIONS.items():
+            sol = allocator.problems[node].solution
+            for fid, value in expected.items():
+                assert sol[f"r_{fid}"] == pytest.approx(value, abs=1e-5), (
+                    node, fid
+                )
+
+    def test_local_problem_for_flow(self, allocator):
+        problem = allocator.local_problem_for_flow("2")
+        assert problem.node == "F"
+        assert "2" in problem.flow_ids
+
+
+class TestDistributedAllocation:
+    def test_fig6_shares(self):
+        result = run_distributed(fig6.make_scenario())
+        for fid, expected in fig6.OUR_DISTRIBUTED.items():
+            assert result.share(fid) == pytest.approx(expected, abs=1e-5)
+
+    def test_documented_deviation_is_only_f5(self):
+        """Everything except F5 matches the paper's 2PA-D exactly."""
+        result = run_distributed(fig6.make_scenario())
+        for fid in "1234":
+            assert result.share(fid) == pytest.approx(
+                fig6.PAPER_DISTRIBUTED[fid], abs=1e-5
+            )
+
+    def test_distributed_total_below_centralized(self):
+        scenario = fig6.make_scenario()
+        dist = run_distributed(scenario)
+        cent = run_centralized(scenario)
+        assert (dist.total_effective_throughput
+                <= cent.total_effective_throughput + 1e-9)
+
+    def test_local_shares_at_least_global_basic(self):
+        """Local basic shares are *higher* than global ones (Sec. IV-B)."""
+        scenario = fig6.make_scenario()
+        dist = run_distributed(scenario)
+        assert satisfies_basic_fairness(dist.shares, scenario.flows)
+
+    def test_fig1_distributed_equals_centralized(self):
+        """In Fig. 1 every node sees the whole group: no optimality gap."""
+        scenario = fig1.make_scenario()
+        dist = run_distributed(scenario)
+        cent = run_centralized(scenario)
+        for fid in ("1", "2"):
+            assert dist.share(fid) == pytest.approx(cent.share(fid),
+                                                    abs=1e-5)
+
+    def test_runs_are_deterministic(self):
+        a = run_distributed(fig6.make_scenario()).shares
+        b = run_distributed(fig6.make_scenario()).shares
+        assert a == b
+
+
+class TestCentralizedCoordinator:
+    def test_reports_and_broadcast(self):
+        from repro.core import CentralizedCoordinator
+
+        scenario = fig6.make_scenario()
+        coord = CentralizedCoordinator(scenario)
+        reports = coord.reports
+        assert {r.flow_id: r.virtual_length for r in reports} == {
+            "1": 3, "2": 1, "3": 1, "4": 2, "5": 1
+        }
+        assert len(coord.observations) == 9  # total subflows
+        result = coord.run()
+        assert result.share("3") == pytest.approx(2 / 3)
+        broadcast = coord.broadcast()
+        # Node A transmits F1.1 only.
+        assert list(broadcast["A"]) == [
+            s.sid for s in scenario.flow("1").subflows[:1]
+        ]
+        assert broadcast["B"][scenario.flow("1").subflows[1].sid] == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_allocated_shares_accessor(self):
+        from repro.core import CentralizedCoordinator
+
+        coord = CentralizedCoordinator(fig1.make_scenario())
+        shares = coord.allocated_shares()
+        assert shares["1"] == pytest.approx(0.5)

@@ -1,0 +1,100 @@
+"""Tests for dynamic flow arrivals/departures with re-allocation."""
+
+import pytest
+
+from repro.core.model import SubflowId
+from repro.experiments import DynamicAllocationExperiment, FlowSchedule
+from repro.mac import FairBackoffPolicy, MacTimings
+from repro.scenarios import fig1
+
+
+class TestFlowSchedule:
+    def test_activation_window(self):
+        sched = FlowSchedule("1", start=2.0, end=5.0)
+        assert not sched.active_at(1.0)
+        assert sched.active_at(2.0)
+        assert sched.active_at(4.9)
+        assert not sched.active_at(5.0)
+
+    def test_open_ended(self):
+        sched = FlowSchedule("1", start=0.0)
+        assert sched.active_at(1e9)
+
+
+class TestUpdateShares:
+    def make_policy(self):
+        return FairBackoffPolicy(
+            "a", MacTimings(),
+            {SubflowId("1", 1): 0.5},
+        )
+
+    def test_update_changes_rates(self):
+        pol = self.make_policy()
+        pol.update_shares({SubflowId("1", 1): 0.25})
+        assert pol.shares[SubflowId("1", 1)] == 0.25
+        assert pol.node_share == pytest.approx(0.25)
+
+    def test_new_subflow_gets_a_queue(self):
+        pol = self.make_policy()
+        pol.update_shares({
+            SubflowId("1", 1): 0.25,
+            SubflowId("9", 1): 0.25,
+        })
+        assert SubflowId("9", 1) in pol.queues
+
+    def test_removed_subflow_parked_not_deleted(self):
+        pol = self.make_policy()
+        pol.update_shares({SubflowId("9", 1): 0.4})
+        # Old queue still present with a tiny parked share.
+        assert SubflowId("1", 1) in pol.queues
+        assert 0 < pol.shares[SubflowId("1", 1)] < 0.4
+
+    def test_rejects_nonpositive(self):
+        pol = self.make_policy()
+        with pytest.raises(ValueError):
+            pol.update_shares({SubflowId("1", 1): 0.0})
+
+
+class TestDynamicExperiment:
+    @pytest.fixture(scope="class")
+    def snapshots(self):
+        scenario = fig1.make_scenario()
+        exp = DynamicAllocationExperiment(scenario, [
+            FlowSchedule("1", start=0.0),
+            FlowSchedule("2", start=4.0, end=8.0),
+        ], seed=1)
+        return exp.run(seconds=12.0)
+
+    def test_three_phases(self, snapshots):
+        assert [(s.start, s.end) for s in snapshots] == [
+            (0.0, 4.0), (4.0, 8.0), (8.0, 12.0)
+        ]
+        assert snapshots[0].active_flows == ["1"]
+        assert snapshots[1].active_flows == ["1", "2"]
+        assert snapshots[2].active_flows == ["1"]
+
+    def test_reallocation_happens(self, snapshots):
+        # Alone, flow 1 gets B/2 (its own two hops are the binding
+        # clique); once flow 2 joins the allocation stays (0.5, 0.25).
+        assert snapshots[0].allocated == pytest.approx({"1": 0.5})
+        assert snapshots[1].allocated == pytest.approx(
+            {"1": 0.5, "2": 0.25}
+        )
+
+    def test_flow1_throttles_and_recovers(self, snapshots):
+        alone, shared, after = (s.rate("1") for s in snapshots)
+        assert shared < 0.8 * alone   # contention costs throughput
+        assert after > 1.15 * shared  # and recovers after the departure
+        assert after > 0.8 * alone
+
+    def test_flow2_only_during_its_window(self, snapshots):
+        assert snapshots[0].rate("2") == 0.0
+        assert snapshots[1].rate("2") > 20.0
+        # A small queue-drain tail after the source stops is fine.
+        assert snapshots[2].rate("2") < 0.35 * snapshots[1].rate("2")
+
+    def test_missing_schedule_rejected(self):
+        scenario = fig1.make_scenario()
+        with pytest.raises(ValueError):
+            DynamicAllocationExperiment(
+                scenario, [FlowSchedule("1")])

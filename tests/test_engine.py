@@ -1,0 +1,136 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, lambda: fired.append("c"))
+        sim.schedule(10, lambda: fired.append("a"))
+        sim.schedule(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(5.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(5, lambda: fired.append(("inner", sim.now)))
+        sim.schedule(10, outer)
+        sim.run()
+        assert fired == [("outer", 10.0), ("inner", 15.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(5, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        assert not ev.active
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(5, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        ev = sim.schedule(2, lambda: None)
+        ev.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("in"))
+        sim.schedule(100, lambda: fired.append("out"))
+        sim.run_until(50)
+        assert fired == ["in"]
+        assert sim.now == 50.0
+        sim.run_until(200)
+        assert fired == ["in", "out"]
+
+    def test_clock_reaches_horizon_with_empty_heap(self):
+        sim = Simulator()
+        sim.run_until(1000)
+        assert sim.now == 1000.0
+
+    def test_backwards_horizon_rejected(self):
+        sim = Simulator()
+        sim.run_until(10)
+        with pytest.raises(ValueError):
+            sim.run_until(5)
+
+    def test_event_exactly_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(1))
+        sim.run_until(10)
+        assert fired == [1]
+
+    def test_stop_breaks_loop(self):
+        sim = Simulator()
+        fired = []
+        def first():
+            fired.append(1)
+            sim.stop()
+        sim.schedule(1, first)
+        sim.schedule(2, lambda: fired.append(2))
+        sim.run_until(10)
+        assert fired == [1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert not sim.step()
+    sim.schedule(1, lambda: None)
+    assert sim.step()
+    assert not sim.step()

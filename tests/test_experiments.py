@@ -1,0 +1,123 @@
+"""Tests for the experiment harness (worked examples, tables, CLI)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    run_all,
+    run_table,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.ablations import virtual_length_ablation
+from repro.scenarios import fig1
+
+
+class TestWorkedExamples:
+    def test_every_example_matches_the_paper(self):
+        reports = run_all(verbose=False)
+        for report in reports:
+            assert report.matches(), report.render()
+
+    def test_render_contains_match_line(self):
+        reports = run_all(verbose=False)
+        assert "MATCH: True" in reports[0].render()
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_table1()
+
+    def test_centralized_matches_paper(self, report):
+        for fid, expected in report.paper_centralized.items():
+            assert report.centralized_shares[fid] == pytest.approx(
+                expected, abs=1e-5
+            )
+
+    def test_rows_cover_all_sources(self, report):
+        assert [r.source for r in report.rows] == ["A", "F", "H", "J", "M"]
+
+    def test_render(self, report):
+        text = report.render()
+        assert "2PA-D shares" in text
+        assert "source A" in text
+
+
+class TestSimulationTables:
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return run_table2(duration=3.0, seed=2)
+
+    def test_columns_present(self, table2):
+        assert [r.system for r in table2.results] == [
+            "802.11", "two-tier", "2PA-C"
+        ]
+
+    def test_2pa_has_lowest_loss(self, table2):
+        losses = {r.system: r.loss_ratio for r in table2.results}
+        assert losses["2PA-C"] < losses["two-tier"]
+        assert losses["2PA-C"] < losses["802.11"]
+
+    def test_2pa_highest_effective_throughput(self, table2):
+        totals = {r.system: r.total_effective for r in table2.results}
+        assert totals["2PA-C"] >= totals["802.11"]
+        assert totals["2PA-C"] >= totals["two-tier"]
+
+    def test_render_rows(self, table2):
+        text = table2.render()
+        assert "r_F1.1 T" in text
+        assert "loss ratio" in text
+
+    def test_column_lookup(self, table2):
+        assert table2.column("802.11").system == "802.11"
+        with pytest.raises(KeyError):
+            table2.column("nope")
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_table(fig1.make_scenario(), "t", ["magic"], duration=0.5)
+
+    def test_allocation_recorded_for_2pa(self, table2):
+        col = table2.column("2PA-C")
+        assert col.allocation["1"] == pytest.approx(0.5)
+
+
+class TestAblations:
+    def test_virtual_length_ablation_values(self):
+        sweep = virtual_length_ablation(hop_counts=(1, 3, 6))
+        by_hops = {p.parameter: p.values for p in sweep.points}
+        assert by_hops[1.0]["basic_share"] == pytest.approx(1.0)
+        assert by_hops[6.0]["basic_share"] == pytest.approx(1 / 3)
+        assert by_hops[6.0]["naive_share"] == pytest.approx(1 / 6)
+        assert "hops" in sweep.render()
+
+
+class TestCli:
+    def test_examples_subcommand(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH: True" in out
+
+    def test_table1_subcommand(self, capsys):
+        assert main(["table1"]) == 0
+        assert "2PA-D shares" in capsys.readouterr().out
+
+    def test_table2_subcommand(self, capsys):
+        assert main(["table2", "--duration", "0.5"]) == 0
+        assert "loss ratio" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliAll:
+    def test_all_subcommand_runs_everything(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["all", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "MATCH: True" in out

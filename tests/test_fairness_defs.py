@@ -1,0 +1,98 @@
+"""Tests for basic shares and the fairness predicates (Sec. II)."""
+
+import pytest
+
+from repro.core import (
+    Flow,
+    basic_shares,
+    basic_total_throughput,
+    jain_index,
+    naive_subflow_shares,
+    satisfies_basic_fairness,
+    satisfies_fairness_constraint,
+    total_effective_throughput,
+)
+from repro.core.fairness_defs import end_to_end_throughput, fairness_violations
+
+
+def chain_flow(fid, hops, weight=1.0):
+    return Flow(fid, [f"{fid}n{i}" for i in range(hops + 1)], weight)
+
+
+class TestBasicShares:
+    def test_fig1_values(self):
+        flows = [chain_flow("1", 2), chain_flow("2", 2)]
+        assert basic_shares(flows) == {"1": 0.25, "2": 0.25}
+
+    def test_virtual_length_capping(self):
+        flows = [chain_flow("1", 6), chain_flow("2", 1)]
+        shares = basic_shares(flows)
+        # denom = 3 + 1
+        assert shares == {"1": 0.25, "2": 0.25}
+
+    def test_weights_scale_shares(self):
+        flows = [chain_flow("1", 1, 2.0), chain_flow("2", 1, 1.0)]
+        shares = basic_shares(flows)
+        assert shares["1"] == pytest.approx(2.0 / 3.0)
+        assert shares["2"] == pytest.approx(1.0 / 3.0)
+
+    def test_capacity_scaling(self):
+        flows = [chain_flow("1", 1)]
+        assert basic_shares(flows, capacity=2e6)["1"] == pytest.approx(2e6)
+
+    def test_total(self):
+        flows = [chain_flow("1", 2), chain_flow("2", 2)]
+        assert basic_total_throughput(flows) == pytest.approx(0.5)
+
+    def test_naive_uses_true_hop_counts(self):
+        flows = [chain_flow("1", 6), chain_flow("2", 1)]
+        shares = naive_subflow_shares(flows)
+        assert shares["1"] == pytest.approx(1.0 / 7.0)
+        assert shares["1"] < basic_shares(flows)["1"]
+
+
+class TestFairnessPredicates:
+    def test_fairness_constraint(self):
+        weights = {"1": 2.0, "2": 1.0}
+        assert satisfies_fairness_constraint(
+            {"1": 0.4, "2": 0.2}, weights
+        )
+        assert not satisfies_fairness_constraint(
+            {"1": 0.4, "2": 0.3}, weights
+        )
+
+    def test_fairness_constraint_empty(self):
+        assert satisfies_fairness_constraint({}, {})
+
+    def test_basic_fairness(self):
+        flows = [chain_flow("1", 2), chain_flow("2", 2)]
+        assert satisfies_basic_fairness({"1": 0.5, "2": 0.25}, flows)
+        assert not satisfies_basic_fairness({"1": 0.5, "2": 0.2}, flows)
+
+    def test_violations_listed(self):
+        flows = [chain_flow("1", 2), chain_flow("2", 2)]
+        assert fairness_violations({"1": 0.1, "2": 0.3}, flows) == ["1"]
+
+
+class TestThroughputDefs:
+    def test_end_to_end_is_min(self):
+        assert end_to_end_throughput({1: 0.5, 2: 0.25, 3: 0.4}) == 0.25
+
+    def test_end_to_end_empty_raises(self):
+        with pytest.raises(ValueError):
+            end_to_end_throughput({})
+
+    def test_total_effective(self):
+        assert total_effective_throughput({"1": 0.5, "2": 0.25}) == 0.75
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_starved_flow(self):
+        assert jain_index([1, 0, 0]) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0

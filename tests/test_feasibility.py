@@ -1,0 +1,102 @@
+"""Tests for schedule feasibility (Sec. III-B, pentagon example)."""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_fairness_lp_allocation,
+    check_allocation_schedulability,
+    check_schedulability,
+    max_feasible_scaling,
+)
+from repro.core.model import SubflowId
+from repro.graphs import Graph
+from repro.scenarios import fig1, fig5, fig6
+
+
+class TestPentagon:
+    def test_clique_bound_is_unschedulable(self):
+        analysis = fig5.make_analysis()
+        lp = basic_fairness_lp_allocation(analysis)
+        report = check_allocation_schedulability(analysis, lp.shares)
+        assert not report.feasible
+        assert report.schedule_length == pytest.approx(1.25, abs=1e-6)
+
+    def test_uniform_two_fifths_is_schedulable(self):
+        analysis = fig5.make_analysis()
+        shares = {str(i): 0.4 for i in range(1, 6)}
+        report = check_allocation_schedulability(analysis, shares)
+        assert report.feasible
+        assert report.schedule_length == pytest.approx(1.0, abs=1e-6)
+
+    def test_max_scaling_is_four_fifths(self):
+        analysis = fig5.make_analysis()
+        rates = {SubflowId(str(i), 1): 0.5 for i in range(1, 6)}
+        scale = max_feasible_scaling(analysis.graph, rates)
+        assert scale == pytest.approx(0.8, abs=1e-6)
+
+    def test_basic_shares_are_schedulable(self):
+        analysis = fig5.make_analysis()
+        shares = {str(i): 0.2 for i in range(1, 6)}
+        report = check_allocation_schedulability(analysis, shares)
+        assert report.feasible
+        assert report.schedule_length == pytest.approx(0.5, abs=1e-6)
+
+
+class TestPaperScenariosAreSchedulable:
+    def test_fig1_lp_allocation(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        lp = basic_fairness_lp_allocation(analysis)
+        report = check_allocation_schedulability(analysis, lp.shares)
+        assert report.feasible
+
+    def test_fig6_lp_allocation(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        lp = basic_fairness_lp_allocation(analysis)
+        report = check_allocation_schedulability(analysis, lp.shares)
+        assert report.feasible
+
+    def test_schedule_covers_demands(self):
+        """Returned time shares actually serve each subflow's demand."""
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        lp = basic_fairness_lp_allocation(analysis)
+        report = check_allocation_schedulability(analysis, lp.shares)
+        served = {}
+        for ind_set, t in report.schedule.items():
+            for sid in ind_set:
+                served[sid] = served.get(sid, 0.0) + t
+        for flow in analysis.scenario.flows:
+            for sub in flow.subflows:
+                assert served.get(sub.sid, 0.0) >= (
+                    lp.share(flow.flow_id) - 1e-6
+                )
+
+
+class TestEdgeCases:
+    def test_zero_rates_trivially_feasible(self):
+        g = Graph()
+        sid = SubflowId("1", 1)
+        g.add_vertex(sid)
+        report = check_schedulability(g, {sid: 0.0})
+        assert report.feasible
+        assert report.schedule_length == 0.0
+
+    def test_unknown_subflow_raises(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            check_schedulability(g, {SubflowId("1", 1): 0.5})
+
+    def test_single_subflow_full_rate(self):
+        g = Graph()
+        sid = SubflowId("1", 1)
+        g.add_vertex(sid)
+        report = check_schedulability(g, {sid: 1.0})
+        assert report.feasible
+        assert report.schedule_length == pytest.approx(1.0)
+
+    def test_overloaded_single_subflow(self):
+        g = Graph()
+        sid = SubflowId("1", 1)
+        g.add_vertex(sid)
+        report = check_schedulability(g, {sid: 1.5})
+        assert not report.feasible

@@ -1,0 +1,92 @@
+"""Tests for the fluid (ideal) reference scheduler."""
+
+import pytest
+
+from repro.core import ContentionAnalysis, basic_fairness_lp_allocation
+from repro.mac import MacTimings
+from repro.sched import (
+    build_2pa,
+    fluid_prediction,
+    fluid_vs_measured,
+    mac_efficiency,
+    predict_for_scenario,
+)
+from repro.scenarios import fig1, fig5
+
+
+class TestMacEfficiency:
+    def test_in_unit_interval(self):
+        eff = mac_efficiency()
+        assert 0.4 < eff < 0.7
+
+    def test_larger_packets_more_efficient(self):
+        assert mac_efficiency(packet_bytes=1500) > mac_efficiency(
+            packet_bytes=256
+        )
+
+    def test_zero_backoff_raises_efficiency(self):
+        assert mac_efficiency(mean_backoff_slots=0.0) > mac_efficiency()
+
+
+class TestFluidPrediction:
+    @pytest.fixture(scope="class")
+    def fig1_pack(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        allocation = basic_fairness_lp_allocation(analysis)
+        return analysis, allocation
+
+    def test_pure_fluid_counts(self, fig1_pack):
+        analysis, allocation = fig1_pack
+        pred = fluid_prediction(analysis, allocation, seconds=1.0)
+        # Flow 1 at 0.5 x 2 Mbps = 1 Mbps / 4096 bits = 244.14 pkts/s.
+        assert pred.flow_packets["1"] == pytest.approx(244.14, rel=1e-3)
+        assert pred.flow_packets["2"] == pytest.approx(122.07, rel=1e-3)
+        assert pred.schedulable
+
+    def test_efficiency_scales_linearly(self, fig1_pack):
+        analysis, allocation = fig1_pack
+        full = fluid_prediction(analysis, allocation, 1.0)
+        half = fluid_prediction(analysis, allocation, 1.0,
+                                efficiency=0.5)
+        assert half.total_packets == pytest.approx(
+            0.5 * full.total_packets
+        )
+
+    def test_infeasible_allocation_is_rescaled(self):
+        analysis = fig5.make_analysis()
+        allocation = basic_fairness_lp_allocation(analysis)
+        pred = fluid_prediction(analysis, allocation, 1.0)
+        assert not pred.schedulable
+        assert pred.schedule_length == pytest.approx(1.25, abs=1e-6)
+        # B/2 rescaled by 4/5 -> 2B/5 -> 0.4 * 488.3 pkts/s.
+        assert pred.flow_packets["1"] == pytest.approx(
+            0.4 * 2e6 / 4096, rel=1e-3
+        )
+
+    def test_invalid_args(self, fig1_pack):
+        analysis, allocation = fig1_pack
+        with pytest.raises(ValueError):
+            fluid_prediction(analysis, allocation, 0.0)
+        with pytest.raises(ValueError):
+            fluid_prediction(analysis, allocation, 1.0, efficiency=0.0)
+
+
+class TestAgainstSimulation:
+    def test_simulated_2pa_lands_near_the_mac_adjusted_ideal(self):
+        """The MAC achieves 60-110% of the efficiency-adjusted fluid
+        bound on Fig. 1 (contention costs what the efficiency factor
+        cannot capture)."""
+        scenario = fig1.make_scenario()
+        analysis = ContentionAnalysis(scenario)
+        allocation = basic_fairness_lp_allocation(analysis)
+        pred = predict_for_scenario(scenario, allocation, seconds=5.0)
+        build = build_2pa(scenario, "centralized", seed=1,
+                          analysis=analysis)
+        metrics = build.run.run(seconds=5.0)
+        measured = {
+            fid: metrics.flows[fid].delivered_end_to_end
+            for fid in scenario.flow_ids
+        }
+        ratios = fluid_vs_measured(pred, measured)
+        for fid, ratio in ratios.items():
+            assert 0.5 < ratio < 1.15, (fid, ratio)

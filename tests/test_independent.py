@@ -1,0 +1,87 @@
+"""Tests for independent-set enumeration (used by schedulability)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    greedy_maximum_independent_set,
+    independence_number,
+    independent_sets_covering,
+    maximal_independent_sets,
+    to_networkx,
+)
+
+
+def pentagon():
+    return Graph.from_edges([(i, (i + 1) % 5) for i in range(5)])
+
+
+class TestMaximalIndependentSets:
+    def test_pentagon_sets_have_size_two(self):
+        sets = maximal_independent_sets(pentagon())
+        assert len(sets) == 5
+        assert all(len(s) == 2 for s in sets)
+
+    def test_empty_graph(self):
+        assert maximal_independent_sets(Graph()) == []
+
+    def test_edgeless_graph_single_set(self):
+        g = Graph()
+        for i in range(4):
+            g.add_vertex(i)
+        sets = maximal_independent_sets(g)
+        assert sets == [frozenset({0, 1, 2, 3})]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_sets_independent_and_maximal(self, seed):
+        rng = np.random.default_rng(seed)
+        g = Graph()
+        for i in range(10):
+            g.add_vertex(i)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                if rng.random() < 0.4:
+                    g.add_edge(i, j)
+        for s in maximal_independent_sets(g):
+            assert g.is_independent_set(s)
+            # maximal: every vertex outside has a neighbor inside
+            for v in g.vertices():
+                if v not in s:
+                    assert g.neighbors(v) & s, (v, s)
+
+
+class TestIndependenceNumber:
+    def test_pentagon_is_two(self):
+        assert independence_number(pentagon()) == 2
+
+    def test_matches_networkx_complement_clique(self):
+        g = pentagon()
+        comp = nx.complement(to_networkx(g))
+        best = max(len(c) for c in nx.find_cliques(comp))
+        assert independence_number(g) == best
+
+    def test_empty(self):
+        assert independence_number(Graph()) == 0
+
+
+class TestGreedyMis:
+    def test_result_is_independent(self):
+        g = pentagon()
+        s = greedy_maximum_independent_set(g)
+        assert g.is_independent_set(s)
+        assert len(s) == 2
+
+    def test_star_graph_picks_leaves(self):
+        g = Graph.from_edges([("hub", f"leaf{i}") for i in range(5)])
+        s = greedy_maximum_independent_set(g)
+        assert "hub" not in s
+        assert len(s) == 5
+
+
+def test_independent_sets_covering():
+    g = pentagon()
+    cover = independent_sets_covering(g, [0, 1])
+    assert all(0 in s for s in cover[0])
+    assert len(cover[0]) == 2  # {0,2} and {0,3}

@@ -1,0 +1,238 @@
+"""Tests for the LP problem IR and the from-scratch simplex solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import (
+    LinearProgram,
+    cross_check,
+    lexicographic_maxmin,
+    solve,
+    solve_scipy,
+    solve_simplex,
+)
+
+
+def make_lp(objective, constraints, lower_bounds=None):
+    lp = LinearProgram()
+    lp.maximize(objective)
+    for coeffs, bound in constraints:
+        lp.add_constraint(coeffs, bound)
+    for var, bound in (lower_bounds or {}).items():
+        lp.set_lower_bound(var, bound)
+    return lp
+
+
+class TestProblemIR:
+    def test_variable_order_is_registration_order(self):
+        lp = LinearProgram()
+        lp.maximize({"b": 1.0})
+        lp.add_constraint({"a": 1.0, "b": 1.0}, 4.0)
+        assert lp.variables == ["b", "a"]
+
+    def test_feasibility_check(self):
+        lp = make_lp({"x": 1.0}, [({"x": 1.0}, 2.0)], {"x": 0.5})
+        assert lp.is_feasible({"x": 1.0})
+        assert not lp.is_feasible({"x": 3.0})
+        assert not lp.is_feasible({"x": 0.1})
+
+    def test_objective_value(self):
+        lp = make_lp({"x": 2.0, "y": 1.0}, [])
+        assert lp.objective_value({"x": 1.0, "y": 3.0}) == 5.0
+
+    def test_dense_form(self):
+        lp = make_lp({"x": 1.0}, [({"x": 2.0, "y": 1.0}, 3.0)], {"y": 1.0})
+        c, a, b, lb = lp.to_dense()
+        assert c.tolist() == [1.0, 0.0]
+        assert a.tolist() == [[2.0, 1.0]]
+        assert b.tolist() == [3.0]
+        assert lb.tolist() == [0.0, 1.0]
+
+    def test_constraint_tightness(self):
+        lp = make_lp({"x": 1.0}, [({"x": 1.0}, 2.0)])
+        sol = solve(lp)
+        assert lp.constraints[0].is_tight(sol.values)
+
+    def test_pretty_renders(self):
+        lp = make_lp({"x": 1.0}, [({"x": 2.0}, 1.0)], {"x": 0.25})
+        text = lp.pretty()
+        assert "maximize" in text and "2*x <= 1" in text
+        assert "x >= 0.25" in text
+
+
+class TestSimplexBasics:
+    def test_simple_bounded(self):
+        lp = make_lp({"x": 1.0}, [({"x": 1.0}, 5.0)])
+        sol = solve_simplex(lp)
+        assert sol.is_optimal
+        assert sol["x"] == pytest.approx(5.0)
+
+    def test_two_variables(self):
+        # max x + y s.t. x + 2y <= 4, 3x + y <= 6
+        lp = make_lp({"x": 1.0, "y": 1.0},
+                     [({"x": 1.0, "y": 2.0}, 4.0),
+                      ({"x": 3.0, "y": 1.0}, 6.0)])
+        sol = solve_simplex(lp)
+        assert sol.objective == pytest.approx(2.8)
+        assert sol["x"] == pytest.approx(1.6)
+        assert sol["y"] == pytest.approx(1.2)
+
+    def test_lower_bounds_shift(self):
+        lp = make_lp({"x": 1.0, "y": 1.0},
+                     [({"x": 1.0, "y": 1.0}, 3.0)],
+                     {"x": 1.0, "y": 0.5})
+        sol = solve_simplex(lp)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(3.0)
+        assert sol["x"] >= 1.0 - 1e-9
+        assert sol["y"] >= 0.5 - 1e-9
+
+    def test_infeasible_lower_bounds(self):
+        lp = make_lp({"x": 1.0, "y": 1.0},
+                     [({"x": 1.0, "y": 1.0}, 1.0)],
+                     {"x": 0.8, "y": 0.8})
+        sol = solve_simplex(lp)
+        assert sol.status == "infeasible"
+
+    def test_unbounded(self):
+        lp = make_lp({"x": 1.0}, [({"y": 1.0}, 1.0)])
+        sol = solve_simplex(lp)
+        assert sol.status == "unbounded"
+
+    def test_empty_lp(self):
+        sol = solve_simplex(LinearProgram())
+        assert sol.is_optimal
+        assert sol.objective == 0.0
+
+    def test_no_constraints_zero_objective(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective_coeff=0.0)
+        sol = solve_simplex(lp)
+        assert sol.is_optimal
+
+    def test_paper_fig1_lp(self):
+        lp = make_lp({"r1": 1.0, "r2": 1.0},
+                     [({"r1": 2.0}, 1.0), ({"r1": 1.0, "r2": 2.0}, 1.0)],
+                     {"r1": 0.25, "r2": 0.25})
+        sol = solve_simplex(lp)
+        assert sol["r1"] == pytest.approx(0.5)
+        assert sol["r2"] == pytest.approx(0.25)
+
+    def test_paper_fig6_lp_objective(self):
+        lp = make_lp(
+            {f"r{i}": 1.0 for i in range(1, 6)},
+            [({"r1": 3.0}, 1.0),
+             ({"r1": 2.0, "r2": 1.0}, 1.0),
+             ({"r2": 1.0, "r3": 1.0}, 1.0),
+             ({"r3": 1.0, "r4": 1.0}, 1.0),
+             ({"r4": 2.0, "r5": 1.0}, 1.0)],
+            {f"r{i}": 0.125 for i in range(1, 6)},
+        )
+        sol = solve_simplex(lp)
+        assert sol.objective == pytest.approx(1 / 3 + 1 / 3 + 2 / 3
+                                              + 1 / 8 + 3 / 4)
+
+    def test_degenerate_constraints(self):
+        # Redundant constraint should not break phase 1/2.
+        lp = make_lp({"x": 1.0},
+                     [({"x": 1.0}, 2.0), ({"x": 2.0}, 4.0)])
+        sol = solve_simplex(lp)
+        assert sol["x"] == pytest.approx(2.0)
+
+
+class TestScipyBackend:
+    def test_agrees_on_simple_lp(self):
+        lp = make_lp({"x": 1.0, "y": 2.0},
+                     [({"x": 1.0, "y": 1.0}, 10.0)])
+        ours = solve_simplex(lp)
+        theirs = solve_scipy(lp)
+        assert ours.objective == pytest.approx(theirs.objective)
+
+    def test_cross_check_passes(self):
+        lp = make_lp({"x": 1.0}, [({"x": 3.0}, 2.0)], {"x": 0.1})
+        sol = cross_check(lp)
+        assert sol.is_optimal
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve(LinearProgram(), backend="nope")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 5),
+    m=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_simplex_matches_scipy_on_random_allocation_lps(n, m, seed):
+    """Property: our simplex and HiGHS agree on clique-style LPs.
+
+    The generated LPs mirror the paper's structure: non-negative
+    coefficients, positive capacities, small lower bounds — always
+    feasible and bounded.
+    """
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram()
+    names = [f"r{i}" for i in range(n)]
+    lp.maximize({v: 1.0 for v in names})
+    for _ in range(m):
+        support = rng.random(n) < 0.7
+        if not support.any():
+            support[rng.integers(n)] = True
+        coeffs = {
+            names[i]: float(rng.integers(1, 4))
+            for i in range(n) if support[i]
+        }
+        lp.add_constraint(coeffs, float(rng.uniform(1.0, 3.0)))
+    for v in names:
+        lp.set_lower_bound(v, float(rng.uniform(0.0, 0.05)))
+    ours = solve_simplex(lp)
+    theirs = solve_scipy(lp)
+    assert ours.status == theirs.status
+    if ours.is_optimal:
+        assert ours.objective == pytest.approx(theirs.objective, abs=1e-6)
+        assert lp.is_feasible(ours.values, tol=1e-6)
+
+
+class TestLexicographicMaxmin:
+    def test_two_tier_split_example(self):
+        """Reproduces the (3B/8, 3B/8) split of Sec. III."""
+        lp = make_lp(
+            {"r11": 1.0, "r12": 1.0, "r21": 1.0, "r22": 1.0},
+            [({"r11": 1.0, "r12": 1.0}, 1.0),
+             ({"r12": 1.0, "r21": 1.0, "r22": 1.0}, 1.0)],
+            {v: 0.25 for v in ("r11", "r12", "r21", "r22")},
+        )
+        sol = lexicographic_maxmin(lp, fix_objective=True)
+        assert sol.objective == pytest.approx(1.75, abs=1e-6)
+        assert sol["r11"] == pytest.approx(0.75, abs=1e-5)
+        assert sol["r12"] == pytest.approx(0.25, abs=1e-5)
+        assert sol["r21"] == pytest.approx(0.375, abs=1e-5)
+        assert sol["r22"] == pytest.approx(0.375, abs=1e-5)
+
+    def test_pure_maxmin_without_objective_pin(self):
+        lp = make_lp({"x": 1.0, "y": 1.0},
+                     [({"x": 1.0, "y": 1.0}, 1.0)])
+        sol = lexicographic_maxmin(lp, fix_objective=False)
+        assert sol["x"] == pytest.approx(0.5, abs=1e-5)
+        assert sol["y"] == pytest.approx(0.5, abs=1e-5)
+
+    def test_weighted_maxmin(self):
+        lp = make_lp({"x": 1.0, "y": 1.0},
+                     [({"x": 1.0, "y": 1.0}, 3.0)])
+        sol = lexicographic_maxmin(lp, weights={"x": 2.0, "y": 1.0},
+                                   fix_objective=False)
+        assert sol["x"] == pytest.approx(2.0, abs=1e-4)
+        assert sol["y"] == pytest.approx(1.0, abs=1e-4)
+
+    def test_infeasible_passthrough(self):
+        lp = make_lp({"x": 1.0}, [({"x": 1.0}, 0.5)], {"x": 1.0})
+        sol = lexicographic_maxmin(lp)
+        assert sol.status == "infeasible"
+
+    def test_rejects_nonpositive_weight(self):
+        lp = make_lp({"x": 1.0}, [({"x": 1.0}, 1.0)])
+        with pytest.raises(ValueError):
+            lexicographic_maxmin(lp, weights={"x": 0.0})

@@ -1,0 +1,155 @@
+"""Tests for the MAC fidelity extensions: EIFS and the capture effect."""
+
+import pytest
+
+from repro.core.model import Network
+from repro.mac import DcfPolicy, MacEntity, MacState, MacTimings, WirelessChannel
+from repro.net.packet import DataPacket, Frame, FrameKind
+from repro.phy import two_ray_ground
+from repro.sim import RngRegistry, Simulator
+
+
+def build(positions, timings=None, capture_db=None):
+    sim = Simulator()
+    net = Network.from_positions(positions)
+    chan = WirelessChannel(sim, net, capture_threshold_db=capture_db)
+    rng = RngRegistry(2)
+    timings = timings or MacTimings()
+    deliveries = []
+    macs = {}
+    for node in net.nodes:
+        macs[node] = MacEntity(
+            node=node, sim=sim, channel=chan,
+            policy=DcfPolicy(node, timings), rng=rng, timings=timings,
+            on_delivery=lambda n, p: deliveries.append((n, p)),
+        )
+    return sim, net, chan, macs, deliveries
+
+
+class Recorder:
+    def __init__(self):
+        self.frames = []
+        self.garbled = 0
+
+    def on_medium_busy(self):
+        pass
+
+    def on_medium_idle(self):
+        pass
+
+    def on_frame(self, frame):
+        self.frames.append(frame)
+
+    def on_garbled(self):
+        self.garbled += 1
+
+
+class TestEifs:
+    def test_eifs_value(self):
+        t = MacTimings()
+        assert t.eifs == pytest.approx(t.sifs + t.ack_duration + t.difs)
+
+    def test_garbled_frame_sets_eifs_horizon(self):
+        timings = MacTimings(use_eifs=True)
+        sim, net, chan, macs, _ = build(
+            {"a": (0, 0), "r": (240, 0), "b": (480, 0)},
+            timings=timings,
+        )
+        # Two overlapping frames collide at r.
+        for node in ("a", "b"):
+            chan.transmit(node, Frame(FrameKind.RTS, node, "r",
+                                      timings.rts_duration))
+        sim.run_until(timings.rts_duration + 1)
+        assert macs["r"].eifs_until > sim.now - 1
+
+    def test_eifs_disabled_is_noop(self):
+        sim, net, chan, macs, _ = build(
+            {"a": (0, 0), "r": (240, 0), "b": (480, 0)},
+        )
+        for node in ("a", "b"):
+            chan.transmit(node, Frame(FrameKind.RTS, node, "r", 352.0))
+        sim.run_until(400)
+        assert macs["r"].eifs_until == 0.0
+
+    def test_hidden_terminal_scenario_still_works_with_eifs(self):
+        timings = MacTimings(use_eifs=True)
+        sim, net, chan, macs, deliveries = build(
+            {"a": (0, 0), "r": (240, 0), "b": (480, 0)},
+            timings=timings,
+        )
+        for i in range(20):
+            macs["a"].enqueue(DataPacket("1", ("a", "r"), 512, 0.0, seq=i))
+            macs["b"].enqueue(DataPacket("2", ("b", "r"), 512, 0.0, seq=i))
+        sim.run_until(2_000_000)
+        from_a = sum(1 for _, p in deliveries if p.flow_id == "1")
+        from_b = sum(1 for _, p in deliveries if p.flow_id == "2")
+        assert from_a > 5 and from_b > 5
+
+
+class TestCapture:
+    def positions(self):
+        # near is 80 m from r, far is 240 m: power ratio (240/80)^4
+        # = 81 ~ 19 dB.
+        return {"near": (80, 0), "r": (0, 0), "far": (240, 0),
+                "pad": (1000, 0)}
+
+    def test_strong_signal_captures_weak_interferer(self):
+        sim = Simulator()
+        net = Network.from_positions(self.positions())
+        chan = WirelessChannel(sim, net, capture_threshold_db=10.0)
+        rec = Recorder()
+        chan.register("r", rec)
+        for n in ("near", "far", "pad"):
+            chan.register(n, Recorder())
+        chan.transmit("near", Frame(FrameKind.RTS, "near", "r", 352.0))
+        chan.transmit("far", Frame(FrameKind.RTS, "far", "r", 352.0))
+        sim.run()
+        # The near frame decodes (captured); the far one is garbled.
+        assert [f.src for f in rec.frames] == ["near"]
+        assert rec.garbled == 1
+
+    def test_comparable_signals_collide(self):
+        sim = Simulator()
+        positions = {"a": (100, 0), "r": (0, 0), "b": (0, 110),
+                     "pad": (1000, 0)}
+        net = Network.from_positions(positions)
+        chan = WirelessChannel(sim, net, capture_threshold_db=10.0)
+        rec = Recorder()
+        chan.register("r", rec)
+        for n in ("a", "b", "pad"):
+            chan.register(n, Recorder())
+        chan.transmit("a", Frame(FrameKind.RTS, "a", "r", 352.0))
+        chan.transmit("b", Frame(FrameKind.RTS, "b", "r", 352.0))
+        sim.run()
+        assert rec.frames == []
+        assert rec.garbled == 2
+
+    def test_no_capture_when_disabled(self):
+        sim = Simulator()
+        net = Network.from_positions(self.positions())
+        chan = WirelessChannel(sim, net)  # default: any overlap garbles
+        rec = Recorder()
+        chan.register("r", rec)
+        for n in ("near", "far", "pad"):
+            chan.register(n, Recorder())
+        chan.transmit("near", Frame(FrameKind.RTS, "near", "r", 352.0))
+        chan.transmit("far", Frame(FrameKind.RTS, "far", "r", 352.0))
+        sim.run()
+        assert rec.frames == []
+
+    def test_power_ratio_math(self):
+        """Sanity: 3x the distance = 81x the power under two-ray."""
+        assert two_ray_ground(80 * 3) * 81 == pytest.approx(
+            two_ray_ground(240) * 81
+        )
+        ratio = two_ray_ground(100) / two_ray_ground(300)
+        assert ratio == pytest.approx(81.0, rel=1e-6)
+
+    def test_full_mac_stack_with_capture(self):
+        """End-to-end delivery still works with capture enabled."""
+        sim, net, chan, macs, deliveries = build(
+            {"a": (0, 0), "b": (200, 0)}, capture_db=10.0,
+        )
+        macs["a"].enqueue(DataPacket("1", ("a", "b"), 512, 0.0))
+        sim.run_until(50_000)
+        assert len(deliveries) == 1

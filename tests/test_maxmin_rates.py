@@ -1,0 +1,127 @@
+"""Tests for progressive-filling max-min rates (the ref.-[5] baseline)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_fairness_lp_allocation,
+    maxmin_end_to_end_throughput,
+    maxmin_flow_allocation,
+    maxmin_subflow_rates,
+    satisfies_basic_fairness,
+)
+from repro.core.model import SubflowId
+from repro.lp import LinearProgram, lexicographic_maxmin
+from repro.scenarios import fig1, fig5, fig6, make_random_scenario, star
+
+
+class TestSubflowMaxmin:
+    def test_fig1_values(self):
+        """The flow-in-the-middle gets B/3; the free subflow rides to
+        2B/3 — the classic max-min outcome on Fig. 1."""
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        rates = maxmin_subflow_rates(analysis)
+        assert rates[SubflowId("1", 2)] == pytest.approx(1 / 3)
+        assert rates[SubflowId("2", 1)] == pytest.approx(1 / 3)
+        assert rates[SubflowId("2", 2)] == pytest.approx(1 / 3)
+        assert rates[SubflowId("1", 1)] == pytest.approx(2 / 3)
+
+    def test_pentagon_uniform_half(self):
+        rates = maxmin_subflow_rates(fig5.make_analysis())
+        for rate in rates.values():
+            assert rate == pytest.approx(0.5)
+
+    def test_every_clique_respected(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        rates = maxmin_subflow_rates(analysis)
+        for clique in analysis.cliques:
+            assert sum(rates[s] for s in clique) <= 1.0 + 1e-9
+
+    def test_weights_scale_rates(self):
+        analysis = ContentionAnalysis(star(2).network and star(2))
+        weights = {SubflowId("1", 1): 3.0, SubflowId("2", 1): 1.0}
+        rates = maxmin_subflow_rates(analysis, weights=weights)
+        assert rates[SubflowId("1", 1)] == pytest.approx(0.75)
+        assert rates[SubflowId("2", 1)] == pytest.approx(0.25)
+
+    def test_end_to_end_projection(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        rates = maxmin_subflow_rates(analysis)
+        e2e = maxmin_end_to_end_throughput(rates, analysis)
+        assert e2e == {"1": pytest.approx(1 / 3),
+                       "2": pytest.approx(1 / 3)}
+
+
+class TestFlowMaxmin:
+    def test_fig6_values(self):
+        """Hand-derived: filling freezes F1/F2/F4/F5 at B/3 (cliques
+        3r1, 2r1+r2, 2r4+r5 all tighten together), then F3 rides to
+        2B/3."""
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        alloc = maxmin_flow_allocation(analysis)
+        for fid in ("1", "2", "4", "5"):
+            assert alloc.share(fid) == pytest.approx(1 / 3), fid
+        assert alloc.share("3") == pytest.approx(2 / 3)
+
+    def test_satisfies_basic_fairness(self):
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        alloc = maxmin_flow_allocation(analysis)
+        assert satisfies_basic_fairness(alloc.shares,
+                                        analysis.scenario.flows)
+
+    def test_lp_optimum_dominates_total(self):
+        """Max-min trades total throughput for equality: the Prop. 2 LP
+        total is at least as large."""
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        mm = maxmin_flow_allocation(analysis)
+        lp = basic_fairness_lp_allocation(analysis)
+        assert (lp.total_effective_throughput
+                >= mm.total_effective_throughput - 1e-9)
+
+    def test_maxmin_min_share_dominates_lp(self):
+        """...and max-min's *minimum* share is at least the LP's."""
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        mm = maxmin_flow_allocation(analysis)
+        lp = basic_fairness_lp_allocation(analysis)
+        assert (min(mm.shares.values())
+                >= min(lp.shares.values()) - 1e-9)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(num_nodes=st.integers(8, 14), num_flows=st.integers(2, 4),
+       seed=st.integers(0, 300))
+def test_progressive_filling_matches_lp_maxmin(num_nodes, num_flows,
+                                               seed):
+    """Two independent algorithms, one answer: progressive filling vs
+    the LP-based lexicographic max-min on random contention systems."""
+    scenario = make_random_scenario(num_nodes=num_nodes,
+                                    num_flows=num_flows, seed=seed,
+                                    max_hops=4)
+    analysis = ContentionAnalysis(scenario)
+    filling = maxmin_flow_allocation(analysis)
+
+    lp = LinearProgram()
+    for fid in scenario.flow_ids:
+        lp.add_variable(f"r_{fid}", objective_coeff=1.0)
+    for clique in analysis.cliques:
+        coeffs = analysis.clique_coefficients(clique)
+        lp.add_constraint(
+            {f"r_{fid}": float(n) for fid, n in coeffs.items()}, 1.0
+        )
+    weights = {f"r_{f.flow_id}": f.weight for f in scenario.flows}
+    via_lp = lexicographic_maxmin(lp, weights, fix_objective=False)
+    for fid in scenario.flow_ids:
+        assert filling.share(fid) == pytest.approx(
+            via_lp[f"r_{fid}"], abs=1e-6
+        ), fid
+
+
+def test_unconstrained_variable_rejected():
+    """A flow appearing in no clique would grow forever."""
+    from repro.core.maxmin_rates import _progressive_fill
+
+    with pytest.raises(ValueError):
+        _progressive_fill(["x"], {"x": 1.0}, [])

@@ -1,0 +1,52 @@
+"""Tests for the simulated max-min baseline system."""
+
+import pytest
+
+from repro.core.model import SubflowId
+from repro.experiments import run_table
+from repro.sched import build_maxmin
+from repro.scenarios import fig1
+
+
+class TestBuildMaxmin:
+    @pytest.fixture(scope="class")
+    def build(self):
+        return build_maxmin(fig1.make_scenario(), seed=1)
+
+    def test_subflow_shares_from_progressive_filling(self, build):
+        assert build.subflow_shares[SubflowId("1", 1)] == pytest.approx(
+            2 / 3
+        )
+        assert build.subflow_shares[SubflowId("1", 2)] == pytest.approx(
+            1 / 3
+        )
+
+    def test_allocation_records_end_to_end_min(self, build):
+        assert build.allocation.share("1") == pytest.approx(1 / 3)
+        assert build.allocation.share("2") == pytest.approx(1 / 3)
+
+    def test_name(self, build):
+        assert build.name == "maxmin"
+
+
+class TestMaxminSimulation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table(
+            fig1.make_scenario(), "mm", ["maxmin", "2PA-C"],
+            duration=6.0, seed=2,
+        )
+
+    def test_maxmin_imbalance_shows_up(self, table):
+        col = table.column("maxmin")
+        up = col.subflow_packets[SubflowId("1", 1)]
+        down = col.subflow_packets[SubflowId("1", 2)]
+        # 2:1 target imbalance; relay drops follow.
+        assert up / down == pytest.approx(2.0, rel=0.3)
+        assert col.lost > 50
+
+    def test_2pa_strictly_better(self, table):
+        mm = table.column("maxmin")
+        tpa = table.column("2PA-C")
+        assert tpa.total_effective > mm.total_effective
+        assert tpa.loss_ratio < 0.25 * mm.loss_ratio

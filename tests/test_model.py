@@ -1,0 +1,145 @@
+"""Tests for the flow/network data model."""
+
+import pytest
+
+from repro.core import Flow, Network, Scenario, SubflowId, virtual_length
+
+
+def line_network(n=4, spacing=200.0):
+    return Network.from_positions(
+        {f"n{i}": (i * spacing, 0.0) for i in range(n)}
+    )
+
+
+class TestVirtualLength:
+    @pytest.mark.parametrize("l,v", [(0, 0), (1, 1), (2, 2), (3, 3),
+                                     (4, 3), (10, 3)])
+    def test_cap_at_three(self, l, v):
+        assert virtual_length(l) == v
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            virtual_length(-1)
+
+
+class TestFlow:
+    def test_basic_properties(self):
+        flow = Flow("1", ["a", "b", "c"], 2.0)
+        assert flow.source == "a"
+        assert flow.destination == "c"
+        assert flow.length == 2
+        assert flow.virtual_length == 2
+        assert flow.weight == 2.0
+
+    def test_subflows(self):
+        flow = Flow("7", ["a", "b", "c"])
+        subs = flow.subflows
+        assert [s.sid for s in subs] == [SubflowId("7", 1),
+                                         SubflowId("7", 2)]
+        assert subs[0].sender == "a" and subs[0].receiver == "b"
+        assert subs[1].sender == "b" and subs[1].receiver == "c"
+        assert all(s.weight == 1.0 for s in subs)
+
+    def test_subflow_accessor(self):
+        flow = Flow("1", ["a", "b", "c"])
+        assert flow.subflow(2).sender == "b"
+        with pytest.raises(IndexError):
+            flow.subflow(3)
+        with pytest.raises(IndexError):
+            flow.subflow(0)
+
+    def test_too_short_path(self):
+        with pytest.raises(ValueError):
+            Flow("1", ["a"])
+
+    def test_repeated_node_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("1", ["a", "b", "a"])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("1", ["a", "b"], weight=0.0)
+
+    def test_subflow_id_ordering_and_str(self):
+        assert SubflowId("1", 1) < SubflowId("1", 2) < SubflowId("2", 1)
+        assert str(SubflowId("3", 2)) == "F3.2"
+
+
+class TestNetwork:
+    def test_distance_and_range(self):
+        net = line_network()
+        assert net.distance("n0", "n1") == pytest.approx(200.0)
+        assert net.in_range("n0", "n1")
+        assert not net.in_range("n0", "n2")  # 400 m > 250 m
+
+    def test_neighbors(self):
+        net = line_network()
+        assert set(net.neighbors("n1")) == {"n0", "n2"}
+
+    def test_links_each_once(self):
+        net = line_network(3)
+        assert sorted(tuple(sorted(l)) for l in net.links()) == [
+            ("n0", "n1"), ("n1", "n2")
+        ]
+
+    def test_duplicate_node_rejected(self):
+        net = line_network()
+        with pytest.raises(ValueError):
+            net.add_node("n0", 0, 0)
+
+    def test_explicit_links(self):
+        net = Network.from_links(["a", "b", "c"], [("a", "b")])
+        assert net.in_range("a", "b")
+        assert not net.in_range("a", "c")
+
+    def test_explicit_links_unknown_node(self):
+        with pytest.raises(ValueError):
+            Network.from_links(["a"], [("a", "zz")])
+
+    def test_validate_flow_range(self):
+        net = line_network()
+        net.validate_flow(Flow("1", ["n0", "n1", "n2"]))
+        with pytest.raises(ValueError):
+            net.validate_flow(Flow("2", ["n0", "n2"]))  # out of range
+
+    def test_validate_flow_unknown_node(self):
+        net = line_network()
+        with pytest.raises(ValueError):
+            net.validate_flow(Flow("1", ["n0", "zz"]))
+
+    def test_shortcut_detection(self):
+        net = line_network()  # spacing 200 -> no shortcuts
+        assert not net.has_shortcut(Flow("1", ["n0", "n1", "n2", "n3"]))
+        tight = Network.from_positions(
+            {"a": (0, 0), "b": (100, 0), "c": (200, 0)}
+        )
+        assert tight.has_shortcut(Flow("1", ["a", "b", "c"]))
+
+
+class TestScenario:
+    def test_accessors(self):
+        net = line_network()
+        scenario = Scenario(net, [Flow("1", ["n0", "n1"]),
+                                  Flow("2", ["n2", "n3"])], name="t")
+        assert scenario.flow_ids == ["1", "2"]
+        assert scenario.flow("2").source == "n2"
+        assert len(scenario.all_subflows()) == 2
+        assert scenario.weights() == {"1": 1.0, "2": 1.0}
+        assert scenario.virtual_lengths() == {"1": 1, "2": 1}
+
+    def test_duplicate_flow_ids_rejected(self):
+        net = line_network()
+        with pytest.raises(ValueError):
+            Scenario(net, [Flow("1", ["n0", "n1"]),
+                           Flow("1", ["n2", "n3"])])
+
+    def test_invalid_flow_rejected_at_construction(self):
+        net = line_network()
+        with pytest.raises(ValueError):
+            Scenario(net, [Flow("1", ["n0", "n3"])])
+
+    def test_unknown_flow_lookup(self):
+        net = line_network()
+        scenario = Scenario(net, [Flow("1", ["n0", "n1"])])
+        with pytest.raises(KeyError):
+            scenario.flow("9")

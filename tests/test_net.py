@@ -1,0 +1,158 @@
+"""Tests for packets, frames, queues, and MAC timing math."""
+
+import pytest
+
+from repro.core.model import SubflowId
+from repro.net import DataPacket, DropTailQueue, Frame, FrameKind, TagInfo
+from repro.mac import MacTimings
+from repro.mac.timings import ACK_BYTES, CTS_BYTES, MAC_HEADER_BYTES, RTS_BYTES
+
+
+def packet(hop=1, route=("a", "b", "c")):
+    return DataPacket(flow_id="1", route=tuple(route), size_bytes=512,
+                      created_at=0.0, seq=1, hop=hop)
+
+
+class TestDataPacket:
+    def test_hop_endpoints(self):
+        p = packet()
+        assert p.sender == "a"
+        assert p.receiver == "b"
+        assert p.destination == "c"
+        assert p.subflow == SubflowId("1", 1)
+        assert not p.at_last_hop
+
+    def test_advance(self):
+        p = packet()
+        p.advance()
+        assert p.hop == 2
+        assert p.sender == "b"
+        assert p.at_last_hop
+        with pytest.raises(RuntimeError):
+            p.advance()
+
+    def test_next_hop_copy_fresh_uid(self):
+        p = packet()
+        q = p.next_hop_copy()
+        assert q.uid != p.uid
+        assert q.hop == p.hop + 1
+        assert p.hop == 1  # original untouched
+        assert q.route == p.route
+
+    def test_next_hop_copy_at_destination_rejected(self):
+        p = packet(hop=2)
+        with pytest.raises(RuntimeError):
+            p.next_hop_copy()
+
+    def test_size_bits(self):
+        assert packet().size_bits == 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataPacket("1", ("a",), 512, 0.0)
+        with pytest.raises(ValueError):
+            DataPacket("1", ("a", "b"), 0, 0.0)
+
+    def test_uids_are_unique(self):
+        assert packet().uid != packet().uid
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue(3)
+        p1, p2 = packet(), packet()
+        q.offer(p1)
+        q.offer(p2)
+        assert q.head() is p1
+        assert q.pop() is p1
+        assert q.pop() is p2
+
+    def test_overflow_drops(self):
+        q = DropTailQueue(2)
+        assert q.offer(packet())
+        assert q.offer(packet())
+        assert not q.offer(packet())
+        assert q.stats.dropped == 1
+        assert q.stats.enqueued == 2
+        assert q.is_full
+
+    def test_remove_specific(self):
+        q = DropTailQueue(5)
+        p1, p2 = packet(), packet()
+        q.offer(p1)
+        q.offer(p2)
+        q.remove(p2)
+        assert len(q) == 1
+        assert q.head() is p1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            DropTailQueue(1).pop()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_bool_and_len(self):
+        q = DropTailQueue(2)
+        assert not q
+        q.offer(packet())
+        assert q and len(q) == 1
+
+    def test_empty_head_is_none(self):
+        assert DropTailQueue(1).head() is None
+
+
+class TestMacTimings:
+    def test_difs_definition(self):
+        t = MacTimings()
+        assert t.difs == t.sifs + 2 * t.slot == 50.0
+
+    def test_control_durations(self):
+        t = MacTimings()
+        assert t.rts_duration == pytest.approx(192 + RTS_BYTES * 8 / 1.0)
+        assert t.cts_duration == pytest.approx(192 + CTS_BYTES * 8 / 1.0)
+        assert t.ack_duration == pytest.approx(192 + ACK_BYTES * 8 / 1.0)
+
+    def test_data_duration_512b_at_2mbps(self):
+        t = MacTimings()
+        expected = 192 + (512 + MAC_HEADER_BYTES) * 8 / 2.0
+        assert t.data_duration(512) == pytest.approx(expected)
+
+    def test_transaction_composition(self):
+        t = MacTimings()
+        total = t.transaction_duration(512)
+        manual = (t.rts_duration + t.sifs + t.cts_duration + t.sifs
+                  + t.data_duration(512) + t.sifs + t.ack_duration)
+        assert total == pytest.approx(manual)
+
+    def test_nav_remainders_nest(self):
+        t = MacTimings()
+        after_rts = t.exchange_remainder_after_rts(512)
+        after_cts = t.exchange_remainder_after_cts(512)
+        assert after_rts == pytest.approx(
+            t.sifs + t.cts_duration + after_cts
+        )
+
+    def test_with_cw_min(self):
+        t = MacTimings().with_cw_min(63)
+        assert t.cw_min == 63
+        assert t.slot == 20.0
+
+    def test_saturation_rate_is_sane(self):
+        """~290 packets/s max for 512-byte payloads on one channel."""
+        t = MacTimings()
+        per_packet = t.difs + t.transaction_duration(512)
+        rate = 1e6 / per_packet
+        assert 250 < rate < 330
+
+
+class TestFrames:
+    def test_frame_str(self):
+        f = Frame(FrameKind.RTS, "a", "b", duration=352.0)
+        assert str(f) == "RTS a->b"
+
+    def test_tag_info_fields(self):
+        tags = TagInfo("a", SubflowId("1", 1), 5.0, receiver_backoff=2.0)
+        assert tags.node == "a"
+        assert tags.receiver_backoff == 2.0

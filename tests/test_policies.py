@@ -1,0 +1,194 @@
+"""Tests for the scheduling policies: DCF backoff and the 2PA tag engine."""
+
+import pytest
+
+from repro.core.model import SubflowId
+from repro.mac import DcfPolicy, FairBackoffPolicy, MacTimings
+from repro.net.packet import DataPacket, TagInfo
+
+T = MacTimings()
+
+
+def packet(flow="1", hop=1, route=("a", "b", "c"), size=512, seq=1):
+    return DataPacket(flow_id=flow, route=tuple(route), size_bytes=size,
+                      created_at=0.0, seq=seq, hop=hop)
+
+
+class TestDcfPolicy:
+    def test_fifo_next_packet(self):
+        pol = DcfPolicy("a", T)
+        p1, p2 = packet(seq=1), packet(seq=2)
+        pol.enqueue(p1, 0.0)
+        pol.enqueue(p2, 0.0)
+        assert pol.next_packet(0.0) is p1
+        pol.on_success(p1, 1.0)
+        assert pol.next_packet(1.0) is p2
+
+    def test_binary_exponential_backoff(self):
+        pol = DcfPolicy("a", T)
+        p = packet()
+        assert pol.backoff_window(p, 0, 0.0) == 31
+        assert pol.backoff_window(p, 1, 0.0) == 63
+        assert pol.backoff_window(p, 2, 0.0) == 127
+        # Cap at CWmax.
+        assert pol.backoff_window(p, 10, 0.0) == 1023
+
+    def test_tags_are_none(self):
+        pol = DcfPolicy("a", T)
+        p = packet()
+        pol.enqueue(p, 0.0)
+        assert pol.tags_for(p, 0.0) is None
+        assert pol.receiver_backoff_for("b", 0.0) is None
+
+    def test_drop_removes(self):
+        pol = DcfPolicy("a", T)
+        p = packet()
+        pol.enqueue(p, 0.0)
+        pol.on_drop(p, 0.0)
+        assert not pol.has_pending()
+        assert pol.queued_packets() == 0
+
+
+def fair_policy(shares=None, alpha=0.01, node="a"):
+    shares = shares or {SubflowId("1", 1): 0.5, SubflowId("2", 1): 0.25}
+    return FairBackoffPolicy(node, T, shares, alpha=alpha)
+
+
+class TestFairBackoffQueueing:
+    def test_node_share_is_sum(self):
+        pol = fair_policy()
+        assert pol.node_share == pytest.approx(0.75)
+
+    def test_rejects_nonpositive_share(self):
+        with pytest.raises(ValueError):
+            FairBackoffPolicy("a", T, {SubflowId("1", 1): 0.0})
+
+    def test_enqueue_unknown_subflow_raises(self):
+        pol = fair_policy()
+        with pytest.raises(KeyError):
+            pol.enqueue(packet(flow="9"), 0.0)
+
+    def test_empty_shares_allowed_for_receivers(self):
+        pol = FairBackoffPolicy("dst", T, {})
+        assert not pol.has_pending()
+
+    def test_selection_by_internal_finish_tag(self):
+        """The subflow with the larger share drains proportionally more."""
+        pol = fair_policy()
+        sid_a, sid_b = SubflowId("1", 1), SubflowId("2", 1)
+        for i in range(12):
+            pol.enqueue(packet(flow="1", route=("a", "b"), seq=i), 0.0)
+            pol.enqueue(packet(flow="2", route=("a", "c"), seq=i), 0.0)
+        sent = {sid_a: 0, sid_b: 0}
+        for _ in range(9):
+            p = pol.next_packet(0.0)
+            sent[p.subflow] += 1
+            pol.on_success(p, 0.0)
+        # Shares 0.5 vs 0.25 -> 2:1 service ratio (6:3 over 9 packets).
+        assert sent[sid_a] == 6
+        assert sent[sid_b] == 3
+
+    def test_virtual_clock_advances_by_external_tag(self):
+        pol = fair_policy()
+        p = packet(flow="1", route=("a", "b"))
+        pol.enqueue(p, 0.0)
+        assert pol.next_packet(0.0) is p
+        pol.on_success(p, 0.0)
+        # external finish tag = L / (node_share * data_rate)
+        expected = 512 * 8 / (0.75 * T.data_rate)
+        assert pol.virtual_clock == pytest.approx(expected)
+
+    def test_internal_tag_uses_subflow_share(self):
+        pol = fair_policy()
+        p = packet(flow="2", route=("a", "c"))
+        pol.enqueue(p, 0.0)
+        pol.next_packet(0.0)
+        state = pol._hol[SubflowId("2", 1)]
+        assert state.internal_finish_tag == pytest.approx(
+            512 * 8 / (0.25 * T.data_rate)
+        )
+        assert state.external_finish_tag == pytest.approx(
+            512 * 8 / (0.75 * T.data_rate)
+        )
+
+
+class TestFairBackoffWindows:
+    def test_no_neighbors_gives_cwmin(self):
+        pol = fair_policy()
+        p = packet(flow="1", route=("a", "b"))
+        pol.enqueue(p, 0.0)
+        assert pol.backoff_window(p, 0, 0.0) == pytest.approx(T.cw_min)
+
+    def test_ahead_of_neighbors_backs_off_more(self):
+        pol = fair_policy(alpha=0.01)
+        p = packet(flow="1", route=("a", "b"))
+        pol.enqueue(p, 0.0)
+        pol.next_packet(0.0)
+        # Fake progress: our clock far ahead of a neighbor's.
+        pol.virtual_clock = 10_000.0
+        pol._hol.clear()
+        pol.on_overheard_tags(
+            TagInfo("z", SubflowId("9", 1), 0.0), 0.0
+        )
+        window = pol.backoff_window(pol.next_packet(0.0), 0, 0.0)
+        assert window == pytest.approx(T.cw_min + 10_000 * 0.01)
+
+    def test_behind_neighbors_clamps_to_cwmin(self):
+        pol = fair_policy(alpha=0.01)
+        p = packet(flow="1", route=("a", "b"))
+        pol.enqueue(p, 0.0)
+        pol.on_overheard_tags(
+            TagInfo("z", SubflowId("9", 1), 99_999.0), 0.0
+        )
+        window = pol.backoff_window(pol.next_packet(0.0), 0, 0.0)
+        assert window == pytest.approx(T.cw_min)
+
+    def test_window_capped(self):
+        pol = FairBackoffPolicy(
+            "a", T, {SubflowId("1", 1): 0.5}, alpha=1.0, max_window=100.0
+        )
+        p = packet(flow="1", route=("a", "b"))
+        pol.enqueue(p, 0.0)
+        pol.virtual_clock = 1e9
+        pol.on_overheard_tags(TagInfo("z", SubflowId("9", 1), 0.0), 0.0)
+        assert pol.backoff_window(pol.next_packet(0.0), 0, 0.0) == 100.0
+
+    def test_ack_feedback_raises_window(self):
+        pol = fair_policy(alpha=0.01)
+        p = packet(flow="1", route=("a", "b"))
+        pol.enqueue(p, 0.0)
+        pol.on_ack_feedback(500.0, 0.0)
+        window = pol.backoff_window(pol.next_packet(0.0), 0, 0.0)
+        assert window == pytest.approx(T.cw_min + 500.0)
+
+    def test_own_tags_ignored_in_table(self):
+        pol = fair_policy()
+        pol.on_overheard_tags(TagInfo("a", SubflowId("1", 1), 5.0), 0.0)
+        assert pol.table == {}
+
+    def test_subflowless_tags_ignored(self):
+        pol = fair_policy()
+        pol.on_overheard_tags(TagInfo("z", None, 5.0), 0.0)
+        assert pol.table == {}
+
+
+class TestReceiverBackoff:
+    def test_r_value_definition(self):
+        """R = sum over other table entries of (r_i - r_m) * alpha."""
+        pol = fair_policy(alpha=0.01, node="recv")
+        pol.on_overheard_tags(TagInfo("i", SubflowId("5", 1), 300.0), 0.0)
+        pol.on_overheard_tags(TagInfo("m1", SubflowId("6", 1), 100.0), 0.0)
+        pol.on_overheard_tags(TagInfo("m2", SubflowId("7", 1), 200.0), 0.0)
+        r = pol.receiver_backoff_for("i", 0.0)
+        assert r == pytest.approx(((300 - 100) + (300 - 200)) * 0.01)
+
+    def test_unknown_sender_returns_none(self):
+        pol = fair_policy()
+        assert pol.receiver_backoff_for("stranger", 0.0) is None
+
+    def test_latest_tag_per_sender_wins(self):
+        pol = fair_policy(alpha=0.01, node="recv")
+        pol.on_overheard_tags(TagInfo("i", SubflowId("5", 1), 100.0), 0.0)
+        pol.on_overheard_tags(TagInfo("i", SubflowId("5", 1), 400.0), 0.0)
+        pol.on_overheard_tags(TagInfo("m", SubflowId("6", 1), 0.0), 0.0)
+        assert pol.receiver_backoff_for("i", 0.0) == pytest.approx(4.0)

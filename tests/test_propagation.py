@@ -1,0 +1,89 @@
+"""Tests for the two-ray-ground PHY model (the paper's 250 m disc)."""
+
+import math
+
+import pytest
+
+from repro.phy import (
+    RadioParams,
+    can_decode,
+    can_sense,
+    carrier_sense_range,
+    crossover_distance,
+    decode_range,
+    friis,
+    received_power,
+    two_ray_ground,
+)
+
+
+class TestFriis:
+    def test_inverse_square_law(self):
+        p1 = friis(100.0)
+        p2 = friis(200.0)
+        assert p1 / p2 == pytest.approx(4.0)
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ValueError):
+            friis(0.0)
+
+    def test_gain_scaling(self):
+        base = friis(100.0)
+        boosted = friis(100.0, RadioParams(tx_gain=2.0))
+        assert boosted == pytest.approx(2.0 * base)
+
+
+class TestTwoRayGround:
+    def test_crossover_value(self):
+        # 4*pi*ht*hr/lambda with ht=hr=1.5 m at 914 MHz ~ 86.2 m
+        assert crossover_distance() == pytest.approx(86.2, abs=0.5)
+
+    def test_friis_below_crossover(self):
+        d = 50.0
+        assert two_ray_ground(d) == pytest.approx(friis(d))
+
+    def test_fourth_power_law_beyond_crossover(self):
+        p1 = two_ray_ground(200.0)
+        p2 = two_ray_ground(400.0)
+        assert p1 / p2 == pytest.approx(16.0)
+
+    def test_continuity_at_regime_change(self):
+        """No huge jump across the crossover (ns-2 models it this way)."""
+        d = crossover_distance()
+        below = two_ray_ground(d * 0.999)
+        above = two_ray_ground(d * 1.001)
+        assert below / above == pytest.approx(1.0, rel=0.2)
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ValueError):
+            two_ray_ground(-5.0)
+
+
+class TestRanges:
+    def test_default_decode_range_is_250m(self):
+        """ns-2's WaveLAN defaults give the paper's 250 m disc."""
+        assert decode_range() == pytest.approx(250.0, abs=0.5)
+
+    def test_default_cs_range_matches(self):
+        """Paper sets interference range = transmission range."""
+        assert carrier_sense_range() == pytest.approx(decode_range())
+
+    def test_can_decode_thresholding(self):
+        assert can_decode(249.0)
+        assert not can_decode(251.0)
+
+    def test_can_sense(self):
+        assert can_sense(249.0)
+        assert not can_sense(251.0)
+
+    def test_lower_threshold_longer_range(self):
+        params = RadioParams(rx_threshold=3.652e-10 / 16.0)
+        assert decode_range(params) == pytest.approx(500.0, abs=1.0)
+
+    def test_received_power_alias(self):
+        assert received_power(120.0) == two_ray_ground(120.0)
+
+    def test_friis_regime_inversion(self):
+        """Thresholds high enough to land inside the crossover distance."""
+        params = RadioParams(rx_threshold=friis(50.0))
+        assert decode_range(params) == pytest.approx(50.0, rel=1e-6)

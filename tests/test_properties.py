@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The paper's theory makes universally-quantified claims; these tests check
+them on randomized scenarios instead of the hand-built figures:
+
+* basic shares always sum to at most B per contending flow group and are
+  weight-proportional;
+* the Prop. 2 LP allocation always (a) satisfies basic fairness,
+  (b) satisfies every clique constraint, (c) dominates the pure basic
+  allocation in total effective throughput;
+* Prop. 1's bound always dominates the fairness-constrained allocation;
+* the distributed allocation always satisfies the global clique
+  constraints it knows about locally... (it may not know all of them, so
+  only per-flow basic fairness is asserted);
+* virtual length and chain coloring stay consistent for any hop count.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_allocation,
+    basic_fairness_lp_allocation,
+    basic_shares,
+    fairness_constrained_allocation,
+    fairness_upper_bound,
+    naive_allocation,
+    run_distributed,
+    satisfies_basic_fairness,
+    satisfies_fairness_constraint,
+    virtual_length,
+)
+from repro.graphs import (
+    chain_coloring,
+    chain_contention_graph,
+    is_proper_coloring,
+    num_colors,
+)
+from repro.scenarios import make_random_scenario
+
+scenario_params = st.builds(
+    dict,
+    num_nodes=st.integers(8, 18),
+    num_flows=st.integers(2, 5),
+    seed=st.integers(0, 500),
+)
+
+
+def make(params):
+    return make_random_scenario(
+        max_hops=5, **params
+    )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=scenario_params)
+def test_basic_shares_weight_proportional_and_capacity_bounded(params):
+    scenario = make(params)
+    analysis = ContentionAnalysis(scenario)
+    for group in analysis.groups:
+        shares = basic_shares(group, scenario.capacity)
+        # Weight proportionality.
+        per_unit = {fid: shares[fid] / f.weight
+                    for fid, f in ((g.flow_id, g) for g in group)}
+        values = list(per_unit.values())
+        assert max(values) - min(values) < 1e-9
+        # Total channel time across the group at most B.
+        used = sum(shares[f.flow_id] * f.virtual_length for f in group)
+        assert used <= scenario.capacity + 1e-9
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=scenario_params)
+def test_lp_allocation_invariants(params):
+    scenario = make(params)
+    analysis = ContentionAnalysis(scenario)
+    alloc = basic_fairness_lp_allocation(analysis)
+    # (a) basic fairness.
+    for group in analysis.groups:
+        group_shares = {f.flow_id: alloc.share(f.flow_id) for f in group}
+        assert satisfies_basic_fairness(group_shares, group,
+                                        scenario.capacity, tol=1e-6)
+    # (b) every clique constraint.
+    for coeffs in analysis.all_coefficients():
+        load = sum(alloc.share(fid) * n for fid, n in coeffs.items())
+        assert load <= scenario.capacity + 1e-6
+    # (c) dominates the pure basic allocation.
+    basic = basic_allocation(analysis)
+    assert (alloc.total_effective_throughput
+            >= basic.total_effective_throughput - 1e-6)
+    # (d) naive allocation is dominated by basic.
+    naive = naive_allocation(analysis)
+    assert (basic.total_effective_throughput
+            >= naive.total_effective_throughput - 1e-9)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=scenario_params)
+def test_prop1_bound_dominates_fairness_allocation(params):
+    scenario = make(params)
+    analysis = ContentionAnalysis(scenario)
+    alloc = fairness_constrained_allocation(analysis)
+    # The fairness constraint is scoped to each contending flow group
+    # (Sec. II-C: "we only define the fairness constraint among
+    # contending flows"); disjoint groups scale independently.
+    for group in analysis.groups:
+        group_shares = {f.flow_id: alloc.share(f.flow_id) for f in group}
+        group_weights = {f.flow_id: f.weight for f in group}
+        assert satisfies_fairness_constraint(
+            group_shares, group_weights, epsilon=1e-9
+        )
+    # Prop. 1's bound uses the global weighted clique number, so it
+    # dominates every group's scaled allocation.
+    bound = fairness_upper_bound(analysis)
+    for fid in scenario.flow_ids:
+        assert alloc.share(fid) >= bound.share(fid) - 1e-9
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=scenario_params)
+def test_distributed_allocation_gives_positive_weight_scaled_shares(params):
+    scenario = make(params)
+    result = run_distributed(scenario)
+    for flow in scenario.flows:
+        assert result.share(flow.flow_id) > 0
+        # No flow exceeds the whole channel.
+        assert result.share(flow.flow_id) <= scenario.capacity + 1e-9
+
+
+@given(hops=st.integers(0, 40))
+def test_virtual_length_properties(hops):
+    v = virtual_length(hops)
+    assert v <= 3
+    assert v <= hops
+    assert v == hops or hops > 3
+
+
+@given(hops=st.integers(1, 30))
+def test_chain_coloring_always_proper_with_min_colors(hops):
+    graph = chain_contention_graph(hops)
+    coloring = chain_coloring(hops)
+    assert is_proper_coloring(graph, coloring)
+    assert num_colors(coloring) == virtual_length(hops)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=scenario_params)
+def test_contention_analysis_structure(params):
+    """Cliques cover every subflow; groups partition the flows."""
+    scenario = make(params)
+    analysis = ContentionAnalysis(scenario)
+    covered = set()
+    for clique in analysis.cliques:
+        covered |= set(clique)
+        assert analysis.graph.is_clique(clique)
+    assert covered == set(analysis.subflow_ids())
+    grouped = [f.flow_id for g in analysis.groups for f in g]
+    assert sorted(grouped) == sorted(scenario.flow_ids)

@@ -1,0 +1,72 @@
+"""A second round of property-based tests over the newer subsystems."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContentionAnalysis, maxmin_subflow_rates
+from repro.scenarios import (
+    make_random_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+params = st.builds(
+    dict,
+    num_nodes=st.integers(8, 16),
+    num_flows=st.integers(2, 4),
+    seed=st.integers(0, 400),
+)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=params)
+def test_maxmin_rates_feasible_and_maximal(params):
+    """Max-min rates always respect every clique and cannot be raised:
+    each subflow participates in at least one tight clique."""
+    scenario = make_random_scenario(max_hops=4, **params)
+    analysis = ContentionAnalysis(scenario)
+    rates = maxmin_subflow_rates(analysis)
+    loads = []
+    for clique in analysis.cliques:
+        load = sum(rates[s] for s in clique)
+        assert load <= scenario.capacity + 1e-9
+        loads.append((clique, load))
+    for sid in analysis.subflow_ids():
+        tight = any(
+            sid in clique and load >= scenario.capacity - 1e-6
+            for clique, load in loads
+        )
+        assert tight, f"{sid} could still grow"
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=params)
+def test_serialization_round_trip_preserves_analysis(params):
+    """JSON round-trip preserves the contention structure exactly."""
+    scenario = make_random_scenario(max_hops=4, **params)
+    clone = scenario_from_dict(scenario_to_dict(scenario))
+    a = ContentionAnalysis(scenario)
+    b = ContentionAnalysis(clone)
+    assert set(a.cliques) == set(b.cliques)
+    assert [sorted(f.flow_id for f in g) for g in a.groups] == [
+        sorted(f.flow_id for f in g) for g in b.groups
+    ]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=params, window=st.sampled_from([1.0, 2.0]))
+def test_timeseries_totals_match_collector(params, window):
+    """Windowed series counts always sum to the collector's totals."""
+    from repro.mac.policies import DcfPolicy
+    from repro.sched.runner import SimulationRun
+
+    scenario = make_random_scenario(max_hops=3, **params)
+    run = SimulationRun(scenario, lambda n, t: DcfPolicy(n, t),
+                        seed=1, series_window_seconds=window)
+    metrics = run.run(seconds=2.0)
+    via_series = sum(sum(s) for s in metrics.series.counts.values())
+    assert via_series == metrics.total_effective_throughput_packets()

@@ -1,0 +1,63 @@
+"""Public-API surface tests: everything exported is importable,
+callable where expected, and documented."""
+
+import doctest
+import importlib
+import inspect
+
+import pytest
+
+import repro
+import repro.core
+import repro.experiments
+import repro.graphs
+import repro.lp
+import repro.mac
+import repro.metrics
+import repro.net
+import repro.phy
+import repro.routing
+import repro.scenarios
+import repro.sched
+import repro.sim
+import repro.traffic
+
+PACKAGES = [
+    repro, repro.core, repro.graphs, repro.lp, repro.sim, repro.phy,
+    repro.net, repro.mac, repro.routing, repro.traffic, repro.sched,
+    repro.metrics, repro.scenarios, repro.experiments,
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("pkg", PACKAGES,
+                             ids=[p.__name__ for p in PACKAGES])
+    def test_all_names_resolve(self, pkg):
+        assert hasattr(pkg, "__all__"), pkg.__name__
+        for name in pkg.__all__:
+            assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
+
+    @pytest.mark.parametrize("pkg", PACKAGES,
+                             ids=[p.__name__ for p in PACKAGES])
+    def test_public_callables_have_docstrings(self, pkg):
+        for name in pkg.__all__:
+            obj = getattr(pkg, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{pkg.__name__}.{name} lacks a doc"
+
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_package_docstring_has_quickstart(self):
+        assert "Quickstart" in repro.__doc__
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", [
+        "repro.sim.engine",
+    ])
+    def test_module_doctests(self, module_name):
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0

@@ -1,0 +1,63 @@
+"""Tests for the multi-seed replication harness."""
+
+import pytest
+
+from repro.experiments import MetricStats, replicate_table
+from repro.scenarios import fig1
+
+
+class TestMetricStats:
+    def test_single_value(self):
+        s = MetricStats.from_values([5.0])
+        assert s.mean == 5.0
+        assert s.stdev == 0.0
+        assert s.low == s.high == 5.0
+
+    def test_spread(self):
+        s = MetricStats.from_values([1.0, 3.0])
+        assert s.mean == 2.0
+        assert s.stdev == pytest.approx(2.0 ** 0.5)
+        assert s.low == 1.0 and s.high == 3.0
+
+    def test_str_format(self):
+        assert "±" in str(MetricStats.from_values([1.0, 2.0]))
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return replicate_table(
+            fig1.make_scenario(), ["802.11", "2PA-C"],
+            seeds=(1, 2, 3), duration=2.0,
+        )
+
+    def test_one_table_per_seed(self, report):
+        assert len(report.tables) == 3
+        assert report.seeds == [1, 2, 3]
+
+    def test_stats_for_every_system(self, report):
+        assert set(report.stats) == {"802.11", "2PA-C"}
+        for system in report.systems:
+            assert "total_effective" in report.stats[system]
+            assert "u_1" in report.stats[system]
+
+    def test_claim_holds_across_all_seeds(self, report):
+        assert report.always_holds(
+            lambda t: t.column("2PA-C").loss_ratio
+            < t.column("802.11").loss_ratio
+        )
+
+    def test_seed_variability_is_bounded(self, report):
+        """Replications differ (seeds matter) but only modestly."""
+        stats = report.stat("2PA-C", "total_effective")
+        assert stats.high > stats.low  # not identical
+        assert stats.stdev < 0.1 * stats.mean
+
+    def test_render(self, report):
+        text = report.render()
+        assert "3 replications" in text
+        assert "802.11" in text
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_table(fig1.make_scenario(), ["802.11"], seeds=())

@@ -1,0 +1,81 @@
+"""Tests for the report builder and the extended ablation studies."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import build_report
+from repro.experiments.ablations import (
+    ALL_ABLATIONS,
+    convergence_study,
+    mac_fidelity_study,
+)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(include_simulations=False)
+
+    def test_sections_present(self, report):
+        text = report.render()
+        assert "REPRODUCTION REPORT" in text
+        assert "SCENARIO 1" in text
+        assert "WORKED EXAMPLES" in text
+        assert "Table I" in text
+
+    def test_examples_all_ok(self, report):
+        text = report.render()
+        assert "FAIL" not in text
+        assert text.count("[OK ]") == 6
+
+    def test_simulation_sections_optional(self, report):
+        assert "Table II" not in report.render()
+
+    def test_with_simulations(self):
+        report = build_report(duration=1.0, include_simulations=True)
+        text = report.render()
+        assert "Table II" in text
+        assert "paper Table III" in text
+
+
+class TestConvergenceStudy:
+    def test_converges_quickly_at_reasonable_alpha(self):
+        sweep = convergence_study(alphas=(0.001,), duration=8.0,
+                                  window=2.0)
+        point = sweep.points[0]
+        assert point.values["converged_window"] >= 0  # did converge
+        assert point.values["converged_second"] <= 4.0
+
+
+class TestMacFidelityStudy:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return mac_fidelity_study(duration=3.0)
+
+    def test_four_variants(self, sweep):
+        assert [p.parameter for p in sweep.points] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_2pa_loss_advantage_robust_to_modelling(self, sweep):
+        """The headline claim survives EIFS and capture variants."""
+        for point in sweep.points:
+            assert (point.values["tpa_loss_ratio"]
+                    < 0.2 * point.values["dcf_loss_ratio"]), point
+
+
+class TestAblationRegistry:
+    def test_all_names_registered(self):
+        assert set(ALL_ABLATIONS) == {
+            "alpha", "cwmin", "buffer", "virtual-length", "scaling",
+            "convergence", "mac-fidelity",
+        }
+
+
+class TestCliExtensions:
+    def test_report_subcommand(self, capsys):
+        assert main(["report", "--no-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCTION REPORT" in out
+
+    def test_ablation_subcommand(self, capsys):
+        assert main(["ablation", "virtual-length"]) == 0
+        assert "Virtual-length" in capsys.readouterr().out

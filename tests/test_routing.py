@@ -1,0 +1,129 @@
+"""Tests for shortest-path routing and the DSR-lite protocol."""
+
+import pytest
+
+from repro.core.model import Flow, Network
+from repro.routing import (
+    DsrProtocol,
+    connectivity_graph,
+    hop_distance,
+    is_shortest,
+    route_flows,
+    shortest_route,
+)
+
+
+def grid_network():
+    """A 3x3 grid with 200 m spacing and 250 m range (4-connectivity)."""
+    positions = {
+        f"n{r}{c}": (c * 200.0, r * 200.0)
+        for r in range(3) for c in range(3)
+    }
+    return Network.from_positions(positions)
+
+
+class TestShortestPaths:
+    def test_route_on_line(self):
+        net = Network.from_positions(
+            {"a": (0, 0), "b": (200, 0), "c": (400, 0)}
+        )
+        assert shortest_route(net, "a", "c") == ["a", "b", "c"]
+
+    def test_disconnected_returns_none(self):
+        net = Network.from_positions({"a": (0, 0), "z": (5000, 0)})
+        assert shortest_route(net, "a", "z") is None
+        assert hop_distance(net, "a", "z") is None
+
+    def test_grid_distance(self):
+        net = grid_network()
+        assert hop_distance(net, "n00", "n22") == 4
+
+    def test_route_flows(self):
+        net = grid_network()
+        flows = route_flows(net, [("n00", "n02"), ("n20", "n22")],
+                            weights=[2.0, 1.0])
+        assert flows[0].length == 2
+        assert flows[0].weight == 2.0
+        assert flows[1].flow_id == "2"
+
+    def test_route_flows_disconnected_raises(self):
+        net = Network.from_positions({"a": (0, 0), "z": (5000, 0)})
+        with pytest.raises(ValueError):
+            route_flows(net, [("a", "z")])
+
+    def test_is_shortest(self):
+        net = grid_network()
+        assert is_shortest(net, Flow("1", ["n00", "n01", "n02"]))
+        assert not is_shortest(
+            net, Flow("2", ["n00", "n10", "n11", "n01", "n02"])
+        )
+
+    def test_connectivity_graph_shape(self):
+        net = grid_network()
+        g = connectivity_graph(net)
+        assert g.num_vertices() == 9
+        assert g.num_edges() == 12  # 4-connected 3x3 grid
+
+
+class TestDsr:
+    def test_discovery_finds_shortest_path(self):
+        net = grid_network()
+        dsr = DsrProtocol(net)
+        route = dsr.find_route("n00", "n22")
+        assert route is not None
+        assert len(route) - 1 == 4  # matches BFS distance
+        assert dsr.discoveries == 1
+
+    def test_trivial_route(self):
+        dsr = DsrProtocol(grid_network())
+        assert dsr.find_route("n00", "n00") == ["n00"]
+
+    def test_route_cache_hit(self):
+        dsr = DsrProtocol(grid_network())
+        first = dsr.find_route("n00", "n22")
+        second = dsr.find_route("n00", "n22")
+        assert first == second
+        assert dsr.discoveries == 1
+        assert dsr.cache_hits == 1
+
+    def test_intermediate_nodes_learn_route(self):
+        dsr = DsrProtocol(grid_network())
+        route = dsr.find_route("n00", "n22")
+        middle = route[len(route) // 2]
+        assert dsr.nodes[middle].cached_route("n00", "n22") == tuple(route)
+
+    def test_unreachable_returns_none(self):
+        net = Network.from_positions({"a": (0, 0), "z": (5000, 0)})
+        dsr = DsrProtocol(net)
+        assert dsr.find_route("a", "z") is None
+
+    def test_invalidate_forces_rediscovery(self):
+        dsr = DsrProtocol(grid_network())
+        route = dsr.find_route("n00", "n22")
+        # Break the first link on the cached route at the source's cache.
+        dsr.nodes["n00"].invalidate(route[0], route[1])
+        assert dsr.nodes["n00"].cached_route("n00", "n22") is None
+        again = dsr.find_route("n00", "n22")
+        assert again is not None
+        assert dsr.discoveries == 2
+
+    def test_build_flows(self):
+        dsr = DsrProtocol(grid_network())
+        flows = dsr.build_flows([("n00", "n02"), ("n02", "n00")],
+                                weights=[1.0, 3.0])
+        assert [f.flow_id for f in flows] == ["1", "2"]
+        assert flows[1].weight == 3.0
+        assert flows[0].length == 2
+
+    def test_build_flows_unreachable_raises(self):
+        net = Network.from_positions({"a": (0, 0), "z": (5000, 0)})
+        with pytest.raises(ValueError):
+            DsrProtocol(net).build_flows([("a", "z")])
+
+    def test_routes_have_no_shortcuts(self):
+        """DSR's shortest paths satisfy the paper's Sec. II-D assumption."""
+        net = grid_network()
+        dsr = DsrProtocol(net)
+        route = dsr.find_route("n00", "n22")
+        flow = Flow("1", route)
+        assert not net.has_shortcut(flow)

@@ -1,0 +1,153 @@
+"""Tests for the topology library and scenario serialization."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_fairness_lp_allocation,
+    fairness_constrained_allocation,
+)
+from repro.scenarios import (
+    cross,
+    fig1,
+    fig4,
+    grid_scenario,
+    load_scenario,
+    parallel_chains,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    star,
+)
+
+
+class TestParallelChains:
+    def test_ladder_contention(self):
+        scenario = parallel_chains(2, 2)
+        analysis = ContentionAnalysis(scenario)
+        assert len(analysis.groups) == 1  # chains are coupled
+
+    def test_wide_gap_decouples(self):
+        scenario = parallel_chains(2, 2, chain_gap=320.0)
+        analysis = ContentionAnalysis(scenario)
+        assert len(analysis.groups) == 2
+        alloc = basic_fairness_lp_allocation(analysis)
+        assert alloc.share("1") == pytest.approx(0.5)
+
+    def test_no_shortcuts(self):
+        scenario = parallel_chains(3, 4)
+        for flow in scenario.flows:
+            assert not scenario.network.has_shortcut(flow)
+
+    def test_weights_applied(self):
+        scenario = parallel_chains(2, 1, weights=[1.0, 3.0])
+        assert scenario.flow("2").weight == 3.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            parallel_chains(0, 2)
+
+
+class TestCross:
+    def test_paths_share_the_center(self):
+        scenario = cross(2)
+        assert "center" in scenario.flow("1").path
+        assert "center" in scenario.flow("2").path
+        assert scenario.flow("1").length == 4
+
+    def test_flows_contend(self):
+        analysis = ContentionAnalysis(cross(2))
+        assert len(analysis.groups) == 1
+
+    def test_symmetric_allocation(self):
+        analysis = ContentionAnalysis(cross(2))
+        alloc = basic_fairness_lp_allocation(analysis)
+        assert alloc.share("1") == pytest.approx(alloc.share("2"))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cross(0)
+
+
+class TestGridAndStar:
+    def test_grid_flows_are_shortest(self):
+        from repro.routing import is_shortest
+
+        scenario = grid_scenario(4)
+        for flow in scenario.flows:
+            assert is_shortest(scenario.network, flow)
+
+    def test_grid_custom_pairs(self):
+        scenario = grid_scenario(3, flow_pairs=[("g00", "g22")])
+        assert len(scenario.flows) == 1
+        assert scenario.flows[0].length == 4
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError):
+            grid_scenario(1)
+
+    def test_star_is_weighted_fair_queueing(self):
+        scenario = star(3, weights=[1.0, 2.0, 3.0])
+        analysis = ContentionAnalysis(scenario)
+        alloc = fairness_constrained_allocation(analysis)
+        assert alloc.share("1") == pytest.approx(1 / 6)
+        assert alloc.share("2") == pytest.approx(1 / 3)
+        assert alloc.share("3") == pytest.approx(1 / 2)
+
+    def test_star_radius_limit(self):
+        with pytest.raises(ValueError):
+            star(3, radius=300.0)
+
+
+class TestSerialization:
+    def test_geometric_round_trip(self):
+        scenario = fig1.make_scenario()
+        data = scenario_to_dict(scenario)
+        clone = scenario_from_dict(data)
+        assert clone.flow_ids == scenario.flow_ids
+        assert clone.network.positions == scenario.network.positions
+        assert clone.capacity == scenario.capacity
+        # Same analysis results.
+        a = basic_fairness_lp_allocation(ContentionAnalysis(scenario))
+        b = basic_fairness_lp_allocation(ContentionAnalysis(clone))
+        assert a.shares == pytest.approx(b.shares)
+
+    def test_abstract_links_round_trip(self):
+        scenario = fig4.make_scenario()
+        clone = scenario_from_dict(scenario_to_dict(scenario))
+        assert clone.network.explicit_links == (
+            scenario.network.explicit_links
+        )
+        assert [f.weight for f in clone.flows] == [1.0, 2.0, 3.0, 2.0]
+
+    def test_json_file_round_trip(self, tmp_path):
+        scenario = cross(2)
+        path = tmp_path / "cross.json"
+        save_scenario(scenario, path)
+        loaded = load_scenario(path)
+        assert loaded.name == scenario.name
+        assert loaded.flow_ids == scenario.flow_ids
+        # File is real JSON.
+        json.loads(path.read_text())
+
+    def test_dict_is_json_compatible(self):
+        data = scenario_to_dict(fig1.make_scenario())
+        json.dumps(data)
+
+    def test_missing_network_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"flows": [{"id": "1",
+                                           "path": ["a", "b"]}]})
+
+    def test_missing_flows_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"positions": {"a": [0, 0]}})
+
+    def test_weight_defaults_to_one(self):
+        data = {
+            "positions": {"a": [0, 0], "b": [100, 0]},
+            "flows": [{"id": "1", "path": ["a", "b"]}],
+        }
+        assert scenario_from_dict(data).flows[0].weight == 1.0

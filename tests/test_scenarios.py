@@ -1,0 +1,130 @@
+"""Tests pinning the scenario geometries to the paper's structures."""
+
+import pytest
+
+from repro.core import ContentionAnalysis
+from repro.scenarios import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    make_random_scenario,
+    node_graph,
+    random_connected_network,
+    random_flows,
+)
+from repro.graphs import is_connected
+
+
+class TestFig1Geometry:
+    def test_flows(self):
+        s = fig1.make_scenario()
+        assert [f.length for f in s.flows] == [2, 2]
+        assert s.flows[0].path == ["A", "B", "C"]
+
+    def test_no_shortcuts(self):
+        s = fig1.make_scenario()
+        for f in s.flows:
+            assert not s.network.has_shortcut(f)
+
+    def test_f11_isolated_from_f2(self):
+        s = fig1.make_scenario()
+        for other in ("D", "E", "F"):
+            assert not s.network.in_range("A", other)
+            assert not s.network.in_range("B", other)
+
+    def test_custom_weight(self):
+        s = fig1.make_scenario(weight=2.0)
+        assert all(f.weight == 2.0 for f in s.flows)
+
+
+class TestFig2Geometry:
+    def test_all_pairs_in_range(self):
+        s = fig2.make_multi_hop_scenario()
+        nodes = s.network.nodes
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                assert s.network.in_range(a, b)
+
+    def test_weights(self):
+        s = fig2.make_multi_hop_scenario()
+        assert s.flow("1").weight == 2.0
+        assert s.flow("2").weight == 1.0
+        assert s.flow("2").length == 3
+
+
+class TestFig3Geometry:
+    def test_chain_parametric(self):
+        s = fig3.make_chain_scenario(hops=4)
+        assert s.flows[0].length == 4
+        assert not s.network.has_shortcut(s.flows[0])
+
+    def test_chain_contention_is_pm2(self):
+        s = fig3.make_chain_scenario(hops=6)
+        analysis = ContentionAnalysis(s)
+        for c in analysis.cliques:
+            hops = sorted(sid.hop for sid in c)
+            assert hops[-1] - hops[0] == 2  # consecutive triples
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            fig3.make_chain_scenario(hops=0)
+
+
+class TestAbstractScenarios:
+    def test_fig4_weights_and_cliques(self):
+        analysis = fig4.make_analysis()
+        assert analysis.scenario.flow("2").length == 2
+        assert len(analysis.cliques) == 2
+        sizes = sorted(len(c) for c in analysis.cliques)
+        assert sizes == [2, 4]
+
+    def test_fig5_is_a_five_cycle(self):
+        analysis = fig5.make_analysis()
+        assert analysis.graph.num_vertices() == 5
+        assert analysis.graph.num_edges() == 5
+        assert all(analysis.graph.degree(v) == 2
+                   for v in analysis.graph)
+
+    def test_fig6_has_nine_subflows(self):
+        s = fig6.make_scenario()
+        assert len(s.all_subflows()) == 9
+        assert [f.length for f in s.flows] == [4, 1, 1, 2, 1]
+
+
+class TestRandomScenarios:
+    def test_connected_network(self):
+        net = random_connected_network(15, seed=2)
+        assert is_connected(node_graph(net))
+        assert len(net.nodes) == 15
+
+    def test_determinism(self):
+        a = random_connected_network(12, seed=5)
+        b = random_connected_network(12, seed=5)
+        assert a.positions == b.positions
+
+    def test_flows_respect_hop_bounds(self):
+        net = random_connected_network(20, seed=3)
+        flows = random_flows(net, 5, seed=4, min_hops=2, max_hops=4)
+        assert len(flows) == 5
+        assert all(2 <= f.length <= 4 for f in flows)
+
+    def test_flow_weights_cycle(self):
+        net = random_connected_network(20, seed=3)
+        flows = random_flows(net, 4, seed=4, weights=[1.0, 2.0])
+        assert [f.weight for f in flows] == [1.0, 2.0, 1.0, 2.0]
+
+    def test_scenario_is_valid_and_routable(self):
+        s = make_random_scenario(num_nodes=18, num_flows=4, seed=11)
+        # Scenario construction validates every hop is a link.
+        analysis = ContentionAnalysis(s)
+        assert analysis.cliques
+
+    def test_flows_are_shortest_paths(self):
+        from repro.routing import is_shortest
+
+        s = make_random_scenario(num_nodes=18, num_flows=4, seed=11)
+        for f in s.flows:
+            assert is_shortest(s.network, f)

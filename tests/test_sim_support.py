@@ -1,0 +1,96 @@
+"""Tests for RNG streams and the tracer."""
+
+import pytest
+
+from repro.sim import RngRegistry, Tracer
+from repro.sim.rng import _stable_hash
+
+
+class TestRngRegistry:
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(42).stream("node-a").random(5)
+        b = RngRegistry(42).stream("node-a").random(5)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(42)
+        a = reg.stream("a").random(5)
+        b = reg.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_creation_order_does_not_matter(self):
+        r1 = RngRegistry(7)
+        r1.stream("x")
+        draws1 = r1.stream("y").random(3)
+        r2 = RngRegistry(7)
+        draws2 = r2.stream("y").random(3)
+        assert (draws1 == draws2).all()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("a").random(5)
+        b = RngRegistry(2).stream("a").random(5)
+        assert not (a == b).all()
+
+    def test_uniform_slots_range(self):
+        reg = RngRegistry(3)
+        draws = [reg.uniform_slots("n", 31) for _ in range(500)]
+        assert min(draws) >= 0
+        assert max(draws) <= 31
+        assert max(draws) > 20  # actually spans the window
+
+    def test_uniform_slots_zero_window(self):
+        reg = RngRegistry(3)
+        assert reg.uniform_slots("n", 0) == 0
+        assert reg.uniform_slots("n", 0.9) == 0
+
+    def test_tuple_stream_names(self):
+        reg = RngRegistry(5)
+        s = reg.stream(("backoff", "A"))
+        assert s is reg.stream(("backoff", "A"))
+
+    def test_stable_hash_is_stable(self):
+        assert _stable_hash("abc") == _stable_hash("abc")
+        assert _stable_hash("abc") != _stable_hash("abd")
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tr = Tracer()
+        tr.log(1.0, "mac", "hello")
+        assert tr.records == []
+
+    def test_enabled_category_records(self):
+        tr = Tracer(["mac"])
+        tr.log(1.0, "mac", "rts", node="A")
+        tr.log(2.0, "chan", "ignored")
+        assert len(tr.records) == 1
+        rec = tr.records[0]
+        assert rec.field("node") == "A"
+        assert rec.field("missing", "d") == "d"
+
+    def test_enable_disable(self):
+        tr = Tracer()
+        tr.enable("queue")
+        assert tr.active("queue")
+        tr.disable("queue")
+        assert not tr.active("queue")
+
+    def test_filter_and_count(self):
+        tr = Tracer(["mac"])
+        tr.log(1.0, "mac", "rts")
+        tr.log(2.0, "mac", "rts")
+        tr.log(3.0, "mac", "ack")
+        assert len(tr.filter("mac")) == 3
+        assert tr.count("mac", "rts") == 2
+
+    def test_clear(self):
+        tr = Tracer(["mac"])
+        tr.log(1.0, "mac", "x")
+        tr.clear()
+        assert tr.records == []
+
+    def test_str_rendering(self):
+        tr = Tracer(["mac"])
+        tr.log(1.5, "mac", "rts", node="A")
+        assert "rts" in str(tr.records[0])
+        assert "node=A" in str(tr.records[0])

@@ -1,0 +1,109 @@
+"""Simulation smoke tests across the topology library.
+
+Each classic topology runs a short 2PA simulation and the measured
+behaviour is checked against the analytic allocation — the scheduler
+must generalize beyond the two paper scenarios.
+"""
+
+import pytest
+
+from repro.core import (
+    ContentionAnalysis,
+    basic_fairness_lp_allocation,
+    run_distributed,
+)
+from repro.metrics.analysis import intra_flow_balance, share_adherence
+from repro.sched import build_2pa, build_80211
+from repro.scenarios import cross, grid_scenario, parallel_chains, star
+
+
+class TestStarSimulation:
+    def test_weighted_star_tracks_weights(self):
+        scenario = star(3, weights=[1.0, 2.0, 3.0])
+        build = build_2pa(scenario, "centralized", seed=1)
+        metrics = build.run.run(seconds=5.0)
+        report = share_adherence(metrics, build.allocation.shares)
+        assert report.adherence_index > 0.98
+        assert metrics.total_lost_packets() == 0  # single-hop flows
+
+
+class TestCrossSimulation:
+    def test_symmetric_flows_get_symmetric_service(self):
+        scenario = cross(2)
+        build = build_2pa(scenario, "centralized", seed=1)
+        metrics = build.run.run(seconds=8.0)
+        u1 = metrics.flows["1"].delivered_end_to_end
+        u2 = metrics.flows["2"].delivered_end_to_end
+        assert u1 > 100 and u2 > 100
+        assert u1 / u2 == pytest.approx(1.0, rel=0.25)
+
+    def test_relay_stays_balanced(self):
+        scenario = cross(2)
+        build = build_2pa(scenario, "centralized", seed=1)
+        metrics = build.run.run(seconds=8.0)
+        balance = intra_flow_balance(metrics)
+        for fid, value in balance.items():
+            assert value > 0.8, (fid, value)
+
+    def test_distributed_phase1_works_on_cross(self):
+        scenario = cross(2)
+        result = run_distributed(scenario)
+        # Symmetry: both flows adopt the same share.
+        assert result.share("1") == pytest.approx(result.share("2"),
+                                                  abs=1e-6)
+
+
+class TestParallelChainsSimulation:
+    def test_coupled_chains_share_fairly(self):
+        scenario = parallel_chains(2, 2)
+        build = build_2pa(scenario, "centralized", seed=1)
+        metrics = build.run.run(seconds=8.0)
+        u1 = metrics.flows["1"].delivered_end_to_end
+        u2 = metrics.flows["2"].delivered_end_to_end
+        assert u1 / max(u2, 1) == pytest.approx(1.0, rel=0.3)
+        assert metrics.loss_ratio() < 0.05
+
+    def test_decoupled_chains_run_at_full_rate(self):
+        scenario = parallel_chains(2, 2, chain_gap=600.0)
+        build = build_2pa(scenario, "centralized", seed=1)
+        metrics = build.run.run(seconds=5.0)
+        # Each chain alone: B/2 allocation ~ >100 pkt/s end-to-end.
+        for fid in ("1", "2"):
+            assert metrics.flows[fid].delivered_end_to_end > 400
+
+
+class TestGridSimulation:
+    def test_grid_flows_deliver_with_low_loss_under_2pa(self):
+        scenario = grid_scenario(4)
+        tpa = build_2pa(scenario, "centralized", seed=1)
+        m_tpa = tpa.run.run(seconds=6.0)
+        assert m_tpa.loss_ratio() < 0.1
+        for fid in scenario.flow_ids:
+            assert m_tpa.flows[fid].delivered_end_to_end > 100
+
+    def test_2pa_fairer_than_dcf_on_grid(self):
+        from repro.metrics.analysis import measured_fairness_index
+
+        scenario = grid_scenario(4)
+        m_tpa = build_2pa(scenario, "centralized",
+                          seed=2).run.run(seconds=6.0)
+        m_dcf = build_80211(scenario, seed=2).run.run(seconds=6.0)
+        assert (measured_fairness_index(m_tpa)
+                >= measured_fairness_index(m_dcf) - 0.02)
+
+
+class TestAllocationSanityAcrossLibrary:
+    @pytest.mark.parametrize("make", [
+        lambda: star(4),
+        lambda: cross(2),
+        lambda: cross(3),
+        lambda: grid_scenario(3),
+        lambda: parallel_chains(3, 2),
+    ])
+    def test_lp_respects_cliques_everywhere(self, make):
+        scenario = make()
+        analysis = ContentionAnalysis(scenario)
+        alloc = basic_fairness_lp_allocation(analysis)
+        for coeffs in analysis.all_coefficients():
+            load = sum(alloc.share(f) * n for f, n in coeffs.items())
+            assert load <= scenario.capacity + 1e-6

@@ -1,0 +1,164 @@
+"""Tests for CBR sources and the metrics collector."""
+
+import pytest
+
+from repro.core.model import Flow, SubflowId
+from repro.metrics import MetricsCollector
+from repro.net.packet import DataPacket
+from repro.scenarios import fig1
+from repro.sim import RngRegistry, Simulator
+from repro.traffic import CbrSource
+
+
+class TestCbrSource:
+    def flow(self):
+        return Flow("1", ["a", "b", "c"])
+
+    def test_rate_is_respected(self):
+        sim = Simulator()
+        got = []
+        src = CbrSource(sim, self.flow(), lambda p: got.append(p) or True,
+                        packets_per_second=200)
+        src.start()
+        sim.run_until(1_000_000)
+        assert len(got) == pytest.approx(200, abs=1)
+
+    def test_packet_fields(self):
+        sim = Simulator()
+        got = []
+        src = CbrSource(sim, self.flow(), lambda p: got.append(p) or True)
+        src.start()
+        sim.run_until(10_000)
+        p = got[0]
+        assert p.flow_id == "1"
+        assert p.route == ("a", "b", "c")
+        assert p.size_bytes == 512
+        assert p.hop == 1
+        assert got[1].seq == got[0].seq + 1
+
+    def test_source_drop_callback(self):
+        sim = Simulator()
+        drops = []
+        src = CbrSource(
+            sim, self.flow(), lambda p: False,
+            on_source_drop=lambda fid: drops.append(fid),
+        )
+        src.start()
+        sim.run_until(20_000)
+        assert drops and all(d == "1" for d in drops)
+
+    def test_stop_halts_generation(self):
+        sim = Simulator()
+        got = []
+        src = CbrSource(sim, self.flow(), lambda p: got.append(p) or True)
+        src.start()
+        sim.run_until(100_000)
+        count = len(got)
+        src.stop()
+        sim.run_until(1_000_000)
+        assert len(got) <= count + 1
+
+    def test_offset_delays_start(self):
+        sim = Simulator()
+        got = []
+        src = CbrSource(sim, self.flow(), lambda p: got.append(sim.now) or True)
+        src.start(offset=3000.0)
+        sim.run_until(3_500)
+        assert got == [3000.0]
+
+    def test_jitter_keeps_average_rate(self):
+        sim = Simulator()
+        got = []
+        src = CbrSource(
+            sim, self.flow(), lambda p: got.append(p) or True,
+            packets_per_second=200, rng=RngRegistry(1),
+            jitter_fraction=0.5,
+        )
+        src.start()
+        sim.run_until(2_000_000)
+        assert len(got) == pytest.approx(400, rel=0.05)
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CbrSource(sim, self.flow(), lambda p: True,
+                      packets_per_second=0)
+        with pytest.raises(ValueError):
+            CbrSource(sim, self.flow(), lambda p: True,
+                      jitter_fraction=1.5)
+
+
+class TestMetricsCollector:
+    def setup_method(self):
+        self.scenario = fig1.make_scenario()
+        self.metrics = MetricsCollector(self.scenario)
+
+    def hop_packet(self, flow="1", hop=1):
+        path = tuple(self.scenario.flow(flow).path)
+        return DataPacket(flow, path, 512, 0.0, hop=hop)
+
+    def test_hop_delivery_counts_subflows(self):
+        self.metrics.record_hop_delivery(self.hop_packet("1", 1))
+        self.metrics.record_hop_delivery(self.hop_packet("1", 2))
+        assert self.metrics.subflow_count("1", 1) == 1
+        assert self.metrics.subflow_count("1", 2) == 1
+        assert self.metrics.flows["1"].delivered_end_to_end == 1
+
+    def test_total_effective_counts_last_hops_only(self):
+        self.metrics.record_hop_delivery(self.hop_packet("1", 1))
+        self.metrics.record_hop_delivery(self.hop_packet("2", 2))
+        assert self.metrics.total_effective_throughput_packets() == 1
+
+    def test_loss_accounting(self):
+        self.metrics.record_relay_drop(self.hop_packet("1", 2))
+        p = self.hop_packet("1", 2)
+        self.metrics.record_mac_drop(p)
+        assert self.metrics.total_lost_packets() == 2
+        first_hop = self.hop_packet("1", 1)
+        self.metrics.record_mac_drop(first_hop)
+        # First-hop MAC drops are not "in-network" losses.
+        assert self.metrics.total_lost_packets() == 2
+
+    def test_loss_ratio_definition(self):
+        """lost / delivered-end-to-end, as in the paper's tables."""
+        for _ in range(10):
+            self.metrics.record_hop_delivery(self.hop_packet("1", 2))
+        self.metrics.record_relay_drop(self.hop_packet("1", 2))
+        assert self.metrics.loss_ratio() == pytest.approx(0.1)
+
+    def test_loss_ratio_degenerate_cases(self):
+        assert self.metrics.loss_ratio() == 0.0
+        self.metrics.record_relay_drop(self.hop_packet("1", 2))
+        assert self.metrics.loss_ratio() == float("inf")
+
+    def test_offered_and_source_drops(self):
+        self.metrics.record_offered("1")
+        self.metrics.record_source_drop("1")
+        assert self.metrics.flows["1"].offered == 1
+        assert self.metrics.flows["1"].source_drops == 1
+
+    def test_throughput_fraction(self):
+        self.metrics.duration = 1_000_000.0  # 1 s
+        for _ in range(100):
+            self.metrics.record_hop_delivery(self.hop_packet("1", 2))
+        frac = self.metrics.flow_throughput_fraction("1")
+        # 100 * 512 * 8 bits over 2 Mbps for 1 s
+        assert frac == pytest.approx(100 * 4096 / 2e6)
+
+    def test_throughput_fraction_requires_duration(self):
+        with pytest.raises(RuntimeError):
+            self.metrics.flow_throughput_fraction("1")
+
+    def test_summary_keys(self):
+        self.metrics.duration = 1e6
+        summary = self.metrics.summary()
+        assert "r_F1.1" in summary
+        assert "u_1" in summary
+        assert set(["total_effective", "lost", "loss_ratio"]) <= set(summary)
+
+    def test_per_subflow_fractions(self):
+        self.metrics.duration = 1e6
+        self.metrics.record_hop_delivery(self.hop_packet("2", 1))
+        fracs = self.metrics.per_subflow_fractions()
+        assert fracs[SubflowId("2", 1)] == pytest.approx(4096 / 2e6)
+        assert fracs[SubflowId("1", 1)] == 0.0

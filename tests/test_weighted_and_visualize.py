@@ -1,0 +1,95 @@
+"""Tests for weighted-flow experiments and the ASCII visualization."""
+
+import pytest
+
+from repro.core import ContentionAnalysis
+from repro.experiments import (
+    make_weighted_local_scenario,
+    render_allocation_comparison,
+    render_bars,
+    render_contention_matrix,
+    render_topology,
+    weighted_fig1,
+    weighted_local_channel,
+)
+from repro.scenarios import fig1
+
+
+class TestWeightedLocalChannel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return weighted_local_channel(duration=5.0, seed=1)
+
+    def test_allocation_proportional_to_weights(self, result):
+        assert result.allocated["1"] == pytest.approx(1 / 6)
+        assert result.allocated["2"] == pytest.approx(1 / 3)
+        assert result.allocated["3"] == pytest.approx(1 / 2)
+
+    def test_measured_tracks_weights(self, result):
+        assert result.measured_ratio("2", "1") == pytest.approx(
+            2.0, rel=0.15
+        )
+        assert result.measured_ratio("3", "1") == pytest.approx(
+            3.0, rel=0.15
+        )
+
+    def test_adherence_index_near_one(self, result):
+        assert result.adherence_index > 0.99
+
+    def test_scenario_shape(self):
+        scenario = make_weighted_local_scenario((1.0, 1.0))
+        assert len(scenario.flows) == 2
+        analysis = ContentionAnalysis(scenario)
+        # Everything in one neighborhood: a single 2-clique.
+        assert len(analysis.cliques) == 1
+
+
+class TestWeightedFig1:
+    def test_weighted_lp_unchanged_but_bounds_differ(self):
+        """With w = (2, 1) on Fig. 1 the LP optimum stays (B/2, B/4):
+        the clique structure binds before the weighted basic shares do."""
+        result = weighted_fig1(w1=2.0, w2=1.0, duration=2.0, seed=1)
+        assert result.allocated["1"] == pytest.approx(0.5)
+        assert result.allocated["2"] == pytest.approx(0.25)
+
+    def test_inverted_weights_shift_allocation(self):
+        """w = (1, 4): flow 2's basic share rises to 4B/10 = 2B/5, and
+        the clique r̂1 + 2 r̂2 <= B squeezes flow 1 down to B/5."""
+        result = weighted_fig1(w1=1.0, w2=4.0, duration=2.0, seed=1)
+        assert result.allocated["2"] == pytest.approx(0.4, abs=1e-6)
+        assert result.allocated["1"] == pytest.approx(0.2, abs=1e-6)
+
+
+class TestVisualization:
+    def test_topology_renders_all_nodes_and_flows(self):
+        scenario = fig1.make_scenario()
+        art = render_topology(scenario, width=60, height=10)
+        for node in scenario.network.nodes:
+            assert node in art
+        assert "F1[A->B->C]" in art
+
+    def test_contention_matrix(self):
+        analysis = ContentionAnalysis(fig1.make_scenario())
+        art = render_contention_matrix(analysis)
+        assert "F1.1" in art
+        assert "X" in art and "." in art
+        assert "clique 0" in art
+
+    def test_bars(self):
+        art = render_bars({"1": 0.5, "2": 0.25}, title="alloc",
+                          reference={"1": 0.5})
+        assert "alloc" in art
+        assert "#" in art
+        assert "ref 0.5" in art
+
+    def test_bars_empty(self):
+        assert "(empty)" in render_bars({}, title="t")
+
+    def test_allocation_comparison(self):
+        art = render_allocation_comparison(
+            {"basic": {"1": 0.25, "2": 0.25},
+             "lp": {"1": 0.5, "2": 0.25}},
+            ["1", "2"],
+        )
+        assert "basic" in art and "lp" in art and "total" in art
+        assert "0.7500" in art  # lp total
