@@ -6,8 +6,12 @@ throughput) as networks grow — the operational questions a user of the
 library will ask.
 """
 
+import json
+import os
+
 import pytest
 
+from repro import obs
 from repro.core import (
     ContentionAnalysis,
     basic_fairness_lp_allocation,
@@ -91,3 +95,97 @@ def test_bench_simulation_second(once):
 
     metrics = once(run)
     assert metrics.total_effective_throughput_packets() > 100
+
+
+#: Network sizes for the observability baseline trajectory.
+_OBS_BASELINE_SIZES = ((10, 3), (20, 5), (30, 8))
+
+
+def test_emit_obs_baseline():
+    """Emit BENCH_obs.json: clique/LP phase timings vs. network size.
+
+    Uses the repro.obs registry end to end, so the emitted file doubles as
+    an integration check of the measurement substrate.  Future perf PRs
+    diff this trajectory (per-phase wall time, pivot counts) against their
+    own run to prove a speedup.  Output path override: ``BENCH_OBS_OUT``.
+    """
+    points = []
+    for nodes, flows in _OBS_BASELINE_SIZES:
+        scenario = make_random_scenario(num_nodes=nodes, num_flows=flows,
+                                        seed=3, max_hops=5)
+        with obs.using_registry() as reg:
+            analysis = ContentionAnalysis(scenario)
+            basic_fairness_lp_allocation(analysis)
+            run_distributed(scenario)
+        snap = reg.snapshot()
+        points.append({
+            "nodes": nodes,
+            "flows": flows,
+            "subflow_vertices": snap["counters"]["contention.subflow_vertices"],
+            "cliques_found": snap["counters"]["contention.cliques_found"],
+            "lp_solves": snap["counters"]["lp.solves"],
+            "lp_pivots": snap["counters"]["lp.simplex.pivots"],
+            "pad_messages": snap["counters"].get("2pad.messages", 0),
+            "timers": {
+                name: snap["timers"][name]
+                for name in ("contention.graph_build",
+                             "contention.clique_enumeration",
+                             "lp.solve", "2pad.run")
+                if name in snap["timers"]
+            },
+        })
+        assert points[-1]["cliques_found"] > 0
+        assert points[-1]["timers"]["lp.solve"]["calls"] >= 1
+
+    out = os.environ.get(
+        "BENCH_OBS_OUT",
+        os.path.join(os.path.dirname(__file__), "BENCH_obs.json"),
+    )
+    doc = {
+        "bench": "scalability-obs-baseline",
+        "schema": obs.SCHEMA_NAME,
+        "schema_version": obs.SCHEMA_VERSION,
+        "points": points,
+    }
+    obs.atomic_write_text(out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    assert json.load(open(out))["points"]
+
+
+def test_obs_disabled_overhead_under_two_percent():
+    """Instrumentation with no registry active must stay in the noise.
+
+    Compares the analytic hot pipeline (contention + LP) against itself
+    with a registry active; the *disabled* path is the production default,
+    so the budget is checked in the direction that matters: enabling
+    metrics may cost a little, but the disabled path must not regress.
+    The bound is deliberately loose (20%) and both sides use best-of-N
+    timing to stay robust on noisy CI machines — the real disabled-path
+    delta is a handful of ``is None`` checks per pipeline run, far
+    below 2%.
+    """
+    import time
+
+    scenario = make_random_scenario(num_nodes=20, num_flows=5, seed=4,
+                                    max_hops=5)
+
+    def pipeline():
+        analysis = ContentionAnalysis(scenario)
+        return basic_fairness_lp_allocation(analysis)
+
+    def best_of(rounds):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            pipeline()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    pipeline()  # warm caches
+    disabled = best_of(5)
+    with obs.using_registry():
+        enabled = best_of(5)
+
+    assert disabled <= enabled * 1.20, (
+        f"disabled-path run ({disabled:.4f}s) should not exceed the "
+        f"metrics-enabled run ({enabled:.4f}s) by more than noise"
+    )

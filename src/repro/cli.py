@@ -9,22 +9,73 @@ Subcommands::
     ablation NAME         one of: alpha, cwmin, buffer, virtual-length,
                           scaling
     all                   everything above with default settings
+
+Observability flags (on ``table1``/``table2``/``table3``/``ablation``/
+``report``)::
+
+    --json                print a schema-versioned run artifact (JSON) to
+                          stdout instead of the human table
+    --metrics-out PATH    write the artifact to PATH (atomic; ``.jsonl``
+                          selects the streaming layout)
+    --profile             print per-phase wall/CPU timings and counters
+    --trace CATS          enable trace categories (comma-separated:
+                          mac,chan,queue,app,sched) on simulation runs
+
+With ``--json`` or ``--metrics-out``, every experiment emits both the
+human table (unless ``--json`` replaces it) and a machine-readable
+record — per-phase timings (clique enumeration, LP solves, sim loop),
+2PA-D convergence rounds/messages, and the paper's table quantities —
+that benchmark tooling can diff across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .experiments import (
     ALL_ABLATIONS,
     build_report,
+    build_report_record,
     run_all,
     run_table1,
     run_table2,
     run_table3,
 )
+from .obs import (
+    MetricsRegistry,
+    RunArtifact,
+    render_profile,
+    set_registry,
+    trace_to_records,
+)
+from .sim import NULL_TRACER, Tracer
+
+#: Result of one observed experiment: human rendering, scenario name, and
+#: the structured ``results`` payload for the artifact.
+_Payload = Tuple[str, str, Dict[str, object]]
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print a run artifact (JSON) to stdout instead of the table",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run artifact to PATH (atomic; .jsonl = streaming)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall/CPU timings and counters",
+    )
+    parser.add_argument(
+        "--trace", metavar="CATS", default=None,
+        help="enable trace categories (comma-separated: "
+             "mac,chan,queue,app,sched)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,7 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("examples", help="analytic worked examples")
-    sub.add_parser("table1", help="Table I: distributed local LPs")
+    p = sub.add_parser("table1", help="Table I: distributed local LPs")
+    _add_obs_flags(p)
 
     for name, help_text in (
         ("table2", "Table II simulation (scenario 1)"),
@@ -48,9 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=40.0,
                        help="simulated seconds (default 40)")
         p.add_argument("--seed", type=int, default=1)
+        _add_obs_flags(p)
 
     p = sub.add_parser("ablation", help="run one ablation study")
     p.add_argument("name", choices=sorted(ALL_ABLATIONS))
+    _add_obs_flags(p)
 
     p = sub.add_parser("show", help="render a scenario and its analysis")
     p.add_argument("scenario", choices=[
@@ -63,11 +117,96 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--no-sim", action="store_true",
                    help="skip the simulation tables (fast)")
+    _add_obs_flags(p)
 
     p = sub.add_parser("all", help="run everything")
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=1)
     return parser
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer:
+    spec = getattr(args, "trace", None)
+    if not spec:
+        return NULL_TRACER
+    categories = [c.strip() for c in spec.split(",") if c.strip()]
+    return Tracer(categories)
+
+
+def _capture_2pad_convergence(scenario) -> Dict[str, object]:
+    """Run the (analytic, cheap) 2PA-D protocol to record convergence.
+
+    Tables II/III simulate phase 2; the distributed phase-1 protocol's
+    rounds/messages-to-convergence are a property of the scenario, so the
+    artifact captures them from a dedicated run here even when the table's
+    simulated systems use the centralized allocator.
+    """
+    from .core import DistributedAllocator
+
+    allocator = DistributedAllocator(scenario)
+    allocator.run()
+    return dict(allocator.convergence)
+
+
+def _run_observed(
+    args: argparse.Namespace,
+    kind: str,
+    seed: Optional[int],
+    config: Dict[str, object],
+    payload: Callable[[Tracer], _Payload],
+) -> int:
+    """Shared driver for observed subcommands.
+
+    Activates a metrics registry when any observability output is
+    requested, runs ``payload`` (which does the actual experiment with the
+    prepared tracer), then emits the human table, the JSON artifact, the
+    profile, and/or the trace as flagged.
+    """
+    wants_artifact = args.json or args.metrics_out is not None
+    wants_registry = wants_artifact or args.profile
+    tracer = _make_tracer(args)
+
+    registry = MetricsRegistry() if wants_registry else None
+    previous = None
+    if registry is not None:
+        from .obs import get_registry
+
+        previous = get_registry()
+        set_registry(registry)
+    wall_start = time.perf_counter()
+    try:
+        rendered, scenario_name, results = payload(tracer)
+    finally:
+        if registry is not None:
+            set_registry(previous)
+    wall_time = time.perf_counter() - wall_start
+
+    if not args.json:
+        print(rendered)
+
+    artifact: Optional[RunArtifact] = None
+    if wants_artifact:
+        artifact = RunArtifact(
+            kind=kind,
+            scenario=scenario_name,
+            seed=seed,
+            config=config,
+            results=results,
+            wall_time_s=wall_time,
+        )
+        artifact.attach_registry(registry)
+        artifact.trace = trace_to_records(tracer)
+    if args.json:
+        print(artifact.to_json())
+    if args.metrics_out is not None:
+        artifact.write(args.metrics_out)
+    if args.profile and registry is not None:
+        stream = sys.stderr if args.json else sys.stdout
+        print(render_profile(registry), file=stream)
+    if tracer is not NULL_TRACER and not wants_artifact:
+        for record in tracer.records:
+            print(record)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,17 +215,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         reports = run_all(verbose=True)
         return 0 if all(r.matches() for r in reports) else 1
     if args.command == "table1":
-        print(run_table1().render())
-        return 0
-    if args.command == "table2":
-        print(run_table2(duration=args.duration, seed=args.seed).render())
-        return 0
-    if args.command == "table3":
-        print(run_table3(duration=args.duration, seed=args.seed).render())
-        return 0
+
+        def table1_payload(tracer: Tracer) -> _Payload:
+            report = run_table1()
+            return report.render(), "fig6", report.to_dict()
+
+        return _run_observed(args, "table1", None, {}, table1_payload)
+    if args.command in ("table2", "table3"):
+        runner = run_table2 if args.command == "table2" else run_table3
+        scenario_mod = "fig1" if args.command == "table2" else "fig6"
+
+        def table_payload(tracer: Tracer) -> _Payload:
+            table = runner(duration=args.duration, seed=args.seed,
+                           tracer=tracer)
+            results = table.to_dict()
+            if args.json or args.metrics_out or args.profile:
+                from . import scenarios as _scen
+
+                scenario = getattr(_scen, scenario_mod).make_scenario()
+                results["convergence_2pad"] = _capture_2pad_convergence(
+                    scenario
+                )
+            return table.render(), table.scenario_name, results
+
+        return _run_observed(
+            args, args.command, args.seed,
+            {"duration": args.duration}, table_payload,
+        )
     if args.command == "ablation":
-        print(ALL_ABLATIONS[args.name]().render())
-        return 0
+
+        def ablation_payload(tracer: Tracer) -> _Payload:
+            sweep = ALL_ABLATIONS[args.name]()
+            return sweep.render(), args.name, sweep.to_dict()
+
+        return _run_observed(
+            args, "ablation", None, {"name": args.name}, ablation_payload,
+        )
     if args.command == "show":
         from .experiments import (
             render_allocation_comparison,
@@ -131,12 +295,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                                            scenario.flow_ids))
         return 0
     if args.command == "report":
-        report = build_report(
-            duration=args.duration, seed=args.seed,
-            include_simulations=not args.no_sim,
+
+        def report_payload(tracer: Tracer) -> _Payload:
+            # --json suppresses the human rendering, so skip its (heavy)
+            # build entirely rather than simulating the tables twice.
+            rendered = ""
+            if not args.json:
+                rendered = build_report(
+                    duration=args.duration, seed=args.seed,
+                    include_simulations=not args.no_sim,
+                ).render()
+            results: Dict[str, object] = {}
+            if args.json or args.metrics_out:
+                results = build_report_record(
+                    duration=args.duration, seed=args.seed,
+                    include_simulations=not args.no_sim,
+                )
+            return rendered, "report", results
+
+        return _run_observed(
+            args, "report", args.seed,
+            {"duration": args.duration, "no_sim": args.no_sim},
+            report_payload,
         )
-        print(report.render())
-        return 0
     if args.command == "all":
         reports = run_all(verbose=True)
         print(run_table1().render())

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from ..graphs import Graph, connected_components, maximal_cliques
+from ..obs.registry import incr, phase_timer
 from .model import Flow, Network, Scenario, Subflow, SubflowId
 
 
@@ -149,11 +150,22 @@ class ContentionAnalysis:
 
     def __init__(self, scenario: Scenario, graph: Graph = None) -> None:
         self.scenario = scenario
-        self.graph = graph if graph is not None else subflow_contention_graph(
-            scenario.network, scenario.flows
-        )
-        self.cliques: List[FrozenSet[SubflowId]] = maximal_cliques(self.graph)
-        self.groups = flow_groups_from_graph(self.graph, scenario.flows)
+        if graph is not None:
+            self.graph = graph
+        else:
+            with phase_timer("contention.graph_build"):
+                self.graph = subflow_contention_graph(
+                    scenario.network, scenario.flows
+                )
+        with phase_timer("contention.clique_enumeration"):
+            self.cliques: List[FrozenSet[SubflowId]] = maximal_cliques(
+                self.graph
+            )
+        with phase_timer("contention.flow_grouping"):
+            self.groups = flow_groups_from_graph(self.graph, scenario.flows)
+        incr("contention.analyses")
+        incr("contention.cliques_found", len(self.cliques))
+        incr("contention.subflow_vertices", self.graph.num_vertices())
 
     def clique_coefficients(
         self, clique: FrozenSet[SubflowId]

@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, List, Mapping, Sequence, Set
 
 from ..graphs import maximal_cliques
 from ..lp import LinearProgram, LPSolution, lexicographic_maxmin, solve
+from ..obs.registry import incr, observe, phase_timer, set_gauge
 from .allocation import AllocationResult
 from .contention import ContentionAnalysis
 from .model import Flow, Network, NodeId, Scenario, Subflow, SubflowId
@@ -83,12 +84,20 @@ class DistributedAllocator:
         self.views: Dict[NodeId, LocalView] = {}
         self.problems: Dict[NodeId, LocalProblem] = {}
         self._shares: Dict[str, float] = {}
+        #: Convergence statistics of the last :meth:`propagate_constraints`
+        #: run: synchronous gossip rounds and clique-transfer messages until
+        #: every path node holds all constraints involving its flow.
+        self.convergence: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Step 1 + 2: overhearing and local clique construction
     # ------------------------------------------------------------------
     def build_local_views(self) -> Dict[NodeId, LocalView]:
         """Populate each node's overheard/known subflows and local cliques."""
+        with phase_timer("2pad.build_views"):
+            return self._build_local_views()
+
+    def _build_local_views(self) -> Dict[NodeId, LocalView]:
         net = self.scenario.network
         subflows = self.scenario.all_subflows()
 
@@ -121,21 +130,72 @@ class DistributedAllocator:
         After propagation, each node on flow ``F_i``'s path holds every
         local clique (from any path node) that contains a subflow of
         ``F_i``.
+
+        The exchange is simulated as the protocol actually runs: per flow,
+        synchronous gossip rounds in which every path node offers the
+        flow-relevant cliques it holds to its path neighbors, until a round
+        moves nothing.  The fixpoint is identical to a one-shot union over
+        path nodes (only cliques that are *local* at some path node ever
+        enter the flood, so no cross-flow leakage occurs), but the rounds
+        and message counts now measure the real convergence cost —
+        ``rounds`` grows with path length, ``messages`` with constraint
+        density.  Statistics land in :attr:`convergence` and the active
+        metrics registry (``2pad.*``).
         """
         if not self.views:
             self.build_local_views()
+        with phase_timer("2pad.propagate"):
+            self._propagate_constraints()
+
+    def _propagate_constraints(self) -> None:
+        total_messages = 0
+        rounds_per_flow: Dict[str, int] = {}
         for flow in self.scenario.flows:
-            relevant: Set[Clique] = set()
-            for node in flow.path:
-                for clique in self.views[node].local_cliques:
-                    if any(sid.flow == flow.flow_id for sid in clique):
-                        relevant.add(clique)
-            for node in flow.path:
+            path = list(flow.path)
+            holding: Dict[NodeId, Set[Clique]] = {
+                node: {
+                    clique
+                    for clique in self.views[node].local_cliques
+                    if any(sid.flow == flow.flow_id for sid in clique)
+                }
+                for node in path
+            }
+            rounds = 0
+            while True:
+                transfers: List[Tuple[NodeId, Clique]] = []
+                for i, node in enumerate(path):
+                    for j in (i - 1, i + 1):
+                        if not 0 <= j < len(path):
+                            continue
+                        neighbor = path[j]
+                        for clique in holding[node]:
+                            if clique not in holding[neighbor]:
+                                transfers.append((neighbor, clique))
+                if not transfers:
+                    break
+                rounds += 1
+                total_messages += len(transfers)
+                for neighbor, clique in transfers:
+                    holding[neighbor].add(clique)
+            rounds_per_flow[flow.flow_id] = rounds
+            observe("2pad.rounds_to_convergence", rounds)
+            for node in path:
                 view = self.views[node]
                 own = set(view.local_cliques)
-                for clique in relevant:
+                for clique in sorted(
+                    holding[node],
+                    key=lambda c: (-len(c), sorted(map(str, c))),
+                ):
                     if clique not in own and clique not in view.received_cliques:
                         view.received_cliques.append(clique)
+        self.convergence = {
+            "rounds_per_flow": rounds_per_flow,
+            "max_rounds": max(rounds_per_flow.values(), default=0),
+            "total_messages": total_messages,
+        }
+        incr("2pad.messages", total_messages)
+        set_gauge("2pad.max_rounds",
+                  float(self.convergence["max_rounds"]))
 
     # ------------------------------------------------------------------
     # Step 4: local optimization at each flow source
@@ -174,6 +234,12 @@ class DistributedAllocator:
         throughput maximization — shares stay proportional to the locally
         computed basic shares.
         """
+        with phase_timer("2pad.local_lp"):
+            problem = self._solve_local(node)
+        incr("2pad.local_lps")
+        return problem
+
+    def _solve_local(self, node: NodeId) -> LocalProblem:
         view = self.views[node]
         b = self.scenario.capacity
         flow_by_id = {f.flow_id: f for f in self.scenario.flows}
@@ -262,15 +328,17 @@ class DistributedAllocator:
     # ------------------------------------------------------------------
     def run(self) -> AllocationResult:
         """Execute the whole protocol; each flow takes its source's share."""
-        self.build_local_views()
-        self.propagate_constraints()
-        for flow in self.scenario.flows:
-            problem = self.problems.get(flow.source) or self.solve_local(
-                flow.source
-            )
-            self._shares[flow.flow_id] = problem.solution[
-                f"r_{flow.flow_id}"
-            ]
+        with phase_timer("2pad.run"):
+            self.build_local_views()
+            self.propagate_constraints()
+            for flow in self.scenario.flows:
+                problem = self.problems.get(flow.source) or self.solve_local(
+                    flow.source
+                )
+                self._shares[flow.flow_id] = problem.solution[
+                    f"r_{flow.flow_id}"
+                ]
+        incr("2pad.runs")
         return AllocationResult(
             "distributed-local-lp",
             dict(self._shares),

@@ -27,7 +27,7 @@ from .visualize import (
     render_contention_matrix,
     render_topology,
 )
-from .report import ReproductionReport, build_report
+from .report import ReproductionReport, build_report, build_report_record
 from .replication import MetricStats, ReplicationReport, replicate_table
 from .ablations import (
     ALL_ABLATIONS,
@@ -71,6 +71,7 @@ __all__ = [
     "render_allocation_comparison",
     "ReproductionReport",
     "build_report",
+    "build_report_record",
     "MetricStats",
     "ReplicationReport",
     "replicate_table",

@@ -48,6 +48,18 @@ class SweepResult:
     def series(self, key: str) -> List[float]:
         return [p.values[key] for p in self.points]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record of the sweep."""
+        return {
+            "name": self.name,
+            "parameter_name": self.parameter_name,
+            "points": [
+                {"parameter": p.parameter,
+                 "values": dict(sorted(p.values.items()))}
+                for p in self.points
+            ],
+        }
+
     def render(self) -> str:
         lines = [f"== {self.name} =="]
         keys = sorted(self.points[0].values) if self.points else []

@@ -8,7 +8,7 @@ and the two simulation tables with the paper's reference values inline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..core import ContentionAnalysis
 from ..scenarios import fig1, fig6
@@ -87,3 +87,31 @@ def build_report(
         sections.append(table3.render() + "\n\n" + PAPER_TABLE3)
 
     return ReproductionReport(sections)
+
+
+def build_report_record(
+    duration: float = 20.0,
+    seed: int = 1,
+    include_simulations: bool = True,
+) -> Dict[str, object]:
+    """Machine-readable counterpart of :func:`build_report`.
+
+    Returns nested records for the worked examples, Table I, and (when
+    enabled) Tables II/III — the payload the CLI embeds in its run
+    artifact under ``results``.
+    """
+    examples = run_all(verbose=False)
+    record: Dict[str, object] = {
+        "examples": [
+            {"name": r.name, "matches": r.matches()} for r in examples
+        ],
+        "table1": run_table1().to_dict(),
+    }
+    if include_simulations:
+        record["table2"] = run_table2(
+            duration=duration, seed=seed
+        ).to_dict()
+        record["table3"] = run_table3(
+            duration=duration, seed=seed
+        ).to_dict()
+    return record

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.model import Scenario, SubflowId
 from ..mac import MacTimings
+from ..sim import NULL_TRACER, Tracer
 from ..sched import (
     SystemBuild,
     TrafficConfig,
@@ -43,6 +44,24 @@ class SystemResult:
     loss_ratio: float
     allocation: Optional[Dict[str, float]] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record of this column (stable string keys)."""
+        return {
+            "system": self.system,
+            "subflow_packets": {
+                str(sid): count
+                for sid, count in sorted(self.subflow_packets.items())
+            },
+            "flow_packets": dict(sorted(self.flow_packets.items())),
+            "total_effective": self.total_effective,
+            "lost": self.lost,
+            "loss_ratio": self.loss_ratio,
+            "allocation": (
+                dict(sorted(self.allocation.items()))
+                if self.allocation is not None else None
+            ),
+        }
+
 
 @dataclass
 class SimulationTable:
@@ -58,6 +77,15 @@ class SimulationTable:
             if result.system == system:
                 return result
         raise KeyError(f"no column for system {system!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole table as one JSON-ready record."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario_name,
+            "duration_s": self.duration,
+            "systems": [r.to_dict() for r in self.results],
+        }
 
     def render(self) -> str:
         """Plain-text rendering in the paper's row order."""
@@ -120,16 +148,18 @@ def run_table(
     alpha: Optional[float] = None,
     timings: Optional[MacTimings] = None,
     traffic: Optional[TrafficConfig] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> SimulationTable:
     """Run the named ``systems`` on ``scenario`` and assemble a table.
 
     Recognized system names: ``802.11``, ``two-tier``, ``2PA-C``,
-    ``2PA-D`` (and plain ``2PA`` as an alias for ``2PA-C``).
+    ``2PA-D`` (and plain ``2PA`` as an alias for ``2PA-C``).  ``tracer``
+    is shared by every system's run (enable categories before passing).
     """
     table = SimulationTable(name, scenario.name, duration)
     for system in systems:
         kwargs: Dict[str, object] = {"seed": seed, "timings": timings,
-                                     "traffic": traffic}
+                                     "traffic": traffic, "tracer": tracer}
         if system == "802.11":
             build = build_80211(scenario, **kwargs)
         elif system == "two-tier":

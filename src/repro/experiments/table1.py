@@ -14,7 +14,7 @@ r̂5 = B/3.  All other rows match exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..core import (
@@ -43,6 +43,28 @@ class Table1Report:
     centralized_shares: Dict[str, float]
     paper_distributed: Dict[str, float]
     paper_centralized: Dict[str, float]
+    convergence: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record (stable keys, paper references included)."""
+        return {
+            "rows": [
+                {
+                    "source": row.source,
+                    "flow_id": row.flow_id,
+                    "clique_constraints": list(row.clique_constraints),
+                    "basic_per_unit": row.basic_per_unit,
+                    "local_solution": dict(sorted(row.local_solution.items())),
+                    "adopted_share": row.adopted_share,
+                }
+                for row in self.rows
+            ],
+            "distributed_shares": dict(sorted(self.distributed_shares.items())),
+            "centralized_shares": dict(sorted(self.centralized_shares.items())),
+            "paper_distributed": dict(sorted(self.paper_distributed.items())),
+            "paper_centralized": dict(sorted(self.paper_centralized.items())),
+            "convergence": dict(self.convergence),
+        }
 
     def render(self) -> str:
         lines = ["== Table I: distributed local optimization (Fig. 6) =="]
@@ -93,4 +115,5 @@ def run_table1() -> Table1Report:
         centralized_shares=dict(centralized.shares),
         paper_distributed=dict(fig6.PAPER_DISTRIBUTED),
         paper_centralized=dict(fig6.PAPER_CENTRALIZED),
+        convergence=dict(allocator.convergence),
     )

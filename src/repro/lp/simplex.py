@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs.registry import incr, phase_timer
 from .problem import LinearProgram, LPSolution
 
 _EPS = 1e-9
@@ -38,11 +39,14 @@ def solve_simplex(lp: LinearProgram) -> LPSolution:
     names = lp.variables
     if not names:
         return LPSolution("optimal", {}, 0.0)
-    c, a, b, lb = lp.to_dense()
+    with phase_timer("lp.simplex.solve"):
+        c, a, b, lb = lp.to_dense()
 
-    # Shift out the lower bounds: x = y + lb with y >= 0.
-    b_shift = b - a @ lb
-    status, y, _ = _simplex_leq(c, a, b_shift)
+        # Shift out the lower bounds: x = y + lb with y >= 0.
+        b_shift = b - a @ lb
+        status, y, _, pivots = _simplex_leq(c, a, b_shift)
+    incr("lp.simplex.solves")
+    incr("lp.simplex.pivots", pivots)
     if status != "optimal":
         return LPSolution(status, {}, float("nan"))
     x = y + lb
@@ -52,18 +56,20 @@ def solve_simplex(lp: LinearProgram) -> LPSolution:
 
 def _simplex_leq(
     c: np.ndarray, a: np.ndarray, b: np.ndarray
-) -> Tuple[str, Optional[np.ndarray], float]:
+) -> Tuple[str, Optional[np.ndarray], float, int]:
     """Maximize ``c'y`` s.t. ``A y <= b``, ``y >= 0`` (b may be negative).
 
-    Returns ``(status, y, objective)``.
+    Returns ``(status, y, objective, pivots)``; ``pivots`` totals the
+    phase-1 and phase-2 simplex iterations for profiling.
     """
+    pivots = 0
     m, n = a.shape
     if m == 0:
         # No constraints: optimum is 0 at origin unless some c_j > 0, in
         # which case the problem is unbounded.
         if np.any(c > _EPS):
-            return "unbounded", None, float("inf")
-        return "optimal", np.zeros(n), 0.0
+            return "unbounded", None, float("inf"), pivots
+        return "optimal", np.zeros(n), 0.0, pivots
 
     # Convert rows with negative rhs to >= rows by negation, then build the
     # tableau with slack variables for <= rows and surplus + artificial
@@ -107,9 +113,10 @@ def _simplex_leq(
         obj1 = np.zeros(total)
         for j in art_cols:
             obj1[j] = -1.0
-        status = _run_simplex(tableau, rhs, obj1, basis)
+        status, iters = _run_simplex(tableau, rhs, obj1, basis)
+        pivots += iters
         if status == "unbounded":  # pragma: no cover - cannot happen
-            return "infeasible", None, float("nan")
+            return "infeasible", None, float("nan"), pivots
         art_value = -sum(
             rhs[i] for i in range(m) if basis[i] in set(art_cols)
         )
@@ -117,7 +124,7 @@ def _simplex_leq(
             rhs[i] for i in range(m) if basis[i] >= n + num_slack + num_surplus
         )
         if phase1_obj > 1e-7:
-            return "infeasible", None, float("nan")
+            return "infeasible", None, float("nan"), pivots
         _drive_out_artificials(tableau, rhs, basis, n + num_slack + num_surplus)
 
     # Phase 2: original objective, artificial columns frozen at zero.
@@ -129,14 +136,16 @@ def _simplex_leq(
         art_start = n + num_slack + num_surplus
     else:
         art_start = total
-    status = _run_simplex(tableau, rhs, obj2, basis, forbidden_from=art_start)
+    status, iters = _run_simplex(tableau, rhs, obj2, basis,
+                                 forbidden_from=art_start)
+    pivots += iters
     if status == "unbounded":
-        return "unbounded", None, float("inf")
+        return "unbounded", None, float("inf"), pivots
 
     y = np.zeros(total)
     for i in range(m):
         y[basis[i]] = rhs[i]
-    return "optimal", y[:n], float(obj2 @ y)
+    return "optimal", y[:n], float(obj2 @ y), pivots
 
 
 def _run_simplex(
@@ -145,19 +154,20 @@ def _run_simplex(
     obj: np.ndarray,
     basis: np.ndarray,
     forbidden_from: Optional[int] = None,
-) -> str:
-    """Run primal simplex pivots in place.  Returns 'optimal'/'unbounded'.
+) -> Tuple[str, int]:
+    """Run primal simplex pivots in place.
 
-    ``tableau`` is the m x total constraint matrix, ``rhs`` the m-vector,
-    ``obj`` the maximization objective over all columns, ``basis`` the
-    current basic column per row.  Bland's rule (smallest eligible index)
-    prevents cycling.  Columns with index >= ``forbidden_from`` never enter.
+    Returns ``('optimal'|'unbounded', pivot_count)``.  ``tableau`` is the
+    m x total constraint matrix, ``rhs`` the m-vector, ``obj`` the
+    maximization objective over all columns, ``basis`` the current basic
+    column per row.  Bland's rule (smallest eligible index) prevents
+    cycling.  Columns with index >= ``forbidden_from`` never enter.
     """
     m, total = tableau.shape
     limit = forbidden_from if forbidden_from is not None else total
     max_iters = 500 * (m + total + 1)
 
-    for _ in range(max_iters):
+    for iteration in range(max_iters):
         # Reduced costs: z_j - c_j using current basis.
         cb = obj[basis]
         reduced = obj - cb @ tableau
@@ -169,7 +179,7 @@ def _run_simplex(
                 entering = j
                 break
         if entering < 0:
-            return "optimal"
+            return "optimal", iteration
 
         # Ratio test with Bland's rule on ties (smallest basis index).
         best_ratio = np.inf
@@ -185,7 +195,7 @@ def _run_simplex(
                     best_ratio = ratio
                     leaving = i
         if leaving < 0:
-            return "unbounded"
+            return "unbounded", iteration
 
         _pivot(tableau, rhs, leaving, entering)
         basis[leaving] = entering

@@ -12,6 +12,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from ..obs.registry import incr, phase_timer
 from .problem import LinearProgram, LPSolution
 from .simplex import solve_simplex
 
@@ -33,7 +34,13 @@ def solve(lp: LinearProgram, backend: str = "simplex") -> LPSolution:
         raise ValueError(
             f"unknown LP backend {backend!r}; available: {sorted(_BACKENDS)}"
         ) from None
-    return fn(lp)
+    with phase_timer("lp.solve"):
+        solution = fn(lp)
+    incr("lp.solves")
+    incr(f"lp.solves.{backend}")
+    if not solution.is_optimal:
+        incr(f"lp.solves.{solution.status}")
+    return solution
 
 
 def solve_scipy(lp: LinearProgram) -> LPSolution:

@@ -1,0 +1,70 @@
+"""``repro.obs``: the unified observability layer for the 2PA stack.
+
+Three pieces, designed to compose:
+
+* :mod:`~repro.obs.registry` — counters, gauges, histograms, and reentrant
+  phase timers behind module-level helpers that cost one ``is None`` check
+  when no registry is active;
+* :mod:`~repro.obs.artifact` + :mod:`~repro.obs.jsonl` — structured,
+  schema-versioned run records written atomically (JSON or JSONL), so
+  experiments can be diffed across PRs;
+* :mod:`~repro.obs.schema` / :mod:`~repro.obs.profile` — validation and
+  human-readable profile rendering for the CLI's ``--profile`` flag.
+
+Instrumentation points live in the hot paths of the reproduction:
+clique enumeration (``contention.*``), simplex pivots and LP solves
+(``lp.*``), 2PA-D constraint propagation (``2pad.*``), and the
+discrete-event loop (``sim.*``).  See README's Observability section for
+the full metric and flag reference.
+"""
+
+from .artifact import RunArtifact
+from .jsonl import (
+    atomic_write_text,
+    dump_jsonl,
+    load_jsonl,
+    records_to_trace,
+    trace_to_records,
+)
+from .profile import render_profile
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+    get_registry,
+    incr,
+    observe,
+    phase_timer,
+    set_gauge,
+    set_registry,
+    using_registry,
+)
+from .schema import SCHEMA_NAME, SCHEMA_VERSION, SchemaError, validate_artifact
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimer",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "using_registry",
+    "phase_timer",
+    "incr",
+    "observe",
+    "set_gauge",
+    "RunArtifact",
+    "render_profile",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "validate_artifact",
+    "atomic_write_text",
+    "dump_jsonl",
+    "load_jsonl",
+    "trace_to_records",
+    "records_to_trace",
+]

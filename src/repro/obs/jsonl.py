@@ -1,0 +1,107 @@
+"""JSON-lines serialization for metric samples and trace records.
+
+JSONL keeps run records streamable and diff-friendly: one self-describing
+object per line, append-only, no enclosing document.  The helpers here are
+shared by the :class:`~repro.obs.artifact.RunArtifact` writer and the
+benchmark baseline emitter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "dump_jsonl",
+    "load_jsonl",
+    "atomic_write_text",
+    "trace_to_records",
+    "records_to_trace",
+]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    A crashed or interrupted run never leaves a truncated artifact: the
+    target either keeps its previous content or holds the complete new one.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".obs-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def dump_jsonl(path: str, records: Iterable[Dict[str, object]]) -> int:
+    """Atomically write one JSON object per line; returns the line count."""
+    lines = [json.dumps(r, sort_keys=True, default=str) for r in records]
+    atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_jsonl(path: str) -> List[Dict[str, object]]:
+    """Read back a JSONL file written by :func:`dump_jsonl`."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def trace_to_records(tracer) -> List[Dict[str, object]]:
+    """Flatten a tracer's records into JSON-ready dicts.
+
+    ``tracer`` is duck-typed (anything exposing ``records`` of
+    :class:`~repro.sim.trace.TraceRecord`-shaped tuples) so that ``obs``
+    stays a leaf package with no intra-repro imports.
+    """
+    return [
+        {
+            "record": "trace",
+            "time": r.time,
+            "category": r.category,
+            "message": r.message,
+            "fields": {k: _jsonable(v) for k, v in r.fields},
+        }
+        for r in tracer.records
+    ]
+
+
+def records_to_trace(records: Sequence[Dict[str, object]]):
+    """Rebuild :class:`~repro.sim.trace.TraceRecord` objects from dicts."""
+    from ..sim.trace import TraceRecord  # lazy: obs must stay import-leaf
+
+    out = []
+    for rec in records:
+        if rec.get("record") not in (None, "trace"):
+            continue
+        fields = rec.get("fields", {}) or {}
+        out.append(
+            TraceRecord(
+                float(rec["time"]),
+                str(rec["category"]),
+                str(rec["message"]),
+                tuple(sorted(fields.items())),
+            )
+        )
+    return out
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,62 @@
+"""Human-readable rendering of a registry's profile data.
+
+``repro-experiments ... --profile`` prints this after the experiment's
+table: per-phase wall and CPU time, call counts, and the headline counters
+(LP pivots, simulator events, 2PA-D messages), sorted by wall time so the
+hottest phase tops the list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .registry import MetricsRegistry
+
+__all__ = ["render_profile"]
+
+
+def render_profile(registry: MetricsRegistry) -> str:
+    """Format the registry's timers/counters/gauges/histograms as text."""
+    lines: List[str] = ["== profile =="]
+
+    timers = sorted(registry.timers.values(),
+                    key=lambda t: t.wall_s, reverse=True)
+    if timers:
+        lines.append(
+            f"{'phase':<32}{'calls':>8}{'wall s':>12}{'cpu s':>12}"
+            f"{'mean ms':>12}"
+        )
+        for t in timers:
+            s = t.summary()
+            lines.append(
+                f"{t.name:<32}{s['calls']:>8}{s['wall_s']:>12.4f}"
+                f"{s['cpu_s']:>12.4f}{s['mean_ms']:>12.3f}"
+            )
+
+    if registry.counters:
+        lines.append("-- counters --")
+        for name, counter in sorted(registry.counters.items()):
+            lines.append(f"{name:<44}{counter.value:>16g}")
+
+    if registry.gauges:
+        lines.append("-- gauges --")
+        for name, gauge in sorted(registry.gauges.items()):
+            lines.append(f"{name:<44}{gauge.value:>16g}")
+
+    if registry.histograms:
+        lines.append("-- histograms --")
+        lines.append(
+            f"{'name':<32}{'count':>8}{'mean':>10}{'p50':>8}{'p90':>8}"
+            f"{'p99':>8}{'max':>8}"
+        )
+        for name, hist in sorted(registry.histograms.items()):
+            s = hist.summary()
+            if not s["count"]:
+                lines.append(f"{name:<32}{0:>8}")
+                continue
+            lines.append(
+                f"{name:<32}{s['count']:>8}{s['mean']:>10.3g}"
+                f"{s['p50']:>8.3g}{s['p90']:>8.3g}{s['p99']:>8.3g}"
+                f"{s['max']:>8.3g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Run-artifact schema and validation.
+
+The artifact format is intentionally simple enough to validate with a
+hand-rolled checker (no external jsonschema dependency).  ``SCHEMA_NAME``
+and ``SCHEMA_VERSION`` are embedded in every artifact so downstream
+tooling can detect format drift across PRs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "SchemaError", "validate_artifact"]
+
+SCHEMA_NAME = "repro.obs/run-artifact"
+SCHEMA_VERSION = 1
+
+#: Required top-level fields and their accepted types.
+_TOP_LEVEL: Dict[str, Tuple[type, ...]] = {
+    "schema": (str,),
+    "schema_version": (int,),
+    "kind": (str,),
+    "scenario": (str,),
+    "seed": (int, type(None)),
+    "config": (dict,),
+    "version": (str,),
+    "wall_time_s": (int, float),
+    "results": (dict,),
+    "metrics": (dict,),
+    "trace": (list,),
+}
+
+_METRIC_SECTIONS = ("counters", "gauges", "histograms", "timers")
+
+_TIMER_FIELDS = ("calls", "wall_s", "cpu_s")
+
+_TRACE_FIELDS: Dict[str, Tuple[type, ...]] = {
+    "time": (int, float),
+    "category": (str,),
+    "message": (str,),
+    "fields": (dict,),
+}
+
+
+class SchemaError(ValueError):
+    """An artifact document violates the run-artifact schema."""
+
+
+def _fail(path: str, problem: str) -> None:
+    raise SchemaError(f"artifact invalid at {path}: {problem}")
+
+
+def validate_artifact(doc: object) -> Dict[str, object]:
+    """Validate ``doc`` as a run artifact; returns it unchanged on success.
+
+    Raises :class:`SchemaError` naming the offending path otherwise.
+    """
+    if not isinstance(doc, dict):
+        _fail("$", f"expected object, got {type(doc).__name__}")
+    for key, types in _TOP_LEVEL.items():
+        if key not in doc:
+            _fail("$", f"missing required field {key!r}")
+        if not isinstance(doc[key], types):
+            _fail(f"$.{key}",
+                  f"expected {'/'.join(t.__name__ for t in types)}, "
+                  f"got {type(doc[key]).__name__}")
+    if doc["schema"] != SCHEMA_NAME:
+        _fail("$.schema", f"expected {SCHEMA_NAME!r}, got {doc['schema']!r}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        _fail("$.schema_version",
+              f"unsupported version {doc['schema_version']!r}")
+
+    metrics = doc["metrics"]
+    for section in _METRIC_SECTIONS:
+        if section not in metrics:
+            _fail("$.metrics", f"missing section {section!r}")
+        if not isinstance(metrics[section], dict):
+            _fail(f"$.metrics.{section}", "expected object")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, (int, float)):
+            _fail(f"$.metrics.counters.{name}", "expected number")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, (int, float)):
+            _fail(f"$.metrics.gauges.{name}", "expected number")
+    for name, summary in metrics["histograms"].items():
+        if not isinstance(summary, dict) or "count" not in summary:
+            _fail(f"$.metrics.histograms.{name}",
+                  "expected summary object with 'count'")
+    for name, summary in metrics["timers"].items():
+        if not isinstance(summary, dict):
+            _fail(f"$.metrics.timers.{name}", "expected summary object")
+        for field in _TIMER_FIELDS:
+            if field not in summary:
+                _fail(f"$.metrics.timers.{name}", f"missing {field!r}")
+            if not isinstance(summary[field], (int, float)):
+                _fail(f"$.metrics.timers.{name}.{field}", "expected number")
+
+    for i, rec in enumerate(doc["trace"]):
+        if not isinstance(rec, dict):
+            _fail(f"$.trace[{i}]", "expected object")
+        for field, types in _TRACE_FIELDS.items():
+            if field not in rec:
+                _fail(f"$.trace[{i}]", f"missing {field!r}")
+            if not isinstance(rec[field], types):
+                _fail(f"$.trace[{i}].{field}",
+                      f"expected {'/'.join(t.__name__ for t in types)}")
+    return doc
+
+
+def describe_schema() -> List[str]:
+    """Human-readable field reference (used by README / --help tooling)."""
+    lines = [f"{SCHEMA_NAME} v{SCHEMA_VERSION}"]
+    for key, types in _TOP_LEVEL.items():
+        lines.append(
+            f"  {key}: {'/'.join(t.__name__ for t in types)}"
+        )
+    lines.append("  metrics sections: " + ", ".join(_METRIC_SECTIONS))
+    return lines

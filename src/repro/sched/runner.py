@@ -16,6 +16,7 @@ from ..core.model import NodeId, Scenario, SubflowId
 from ..mac import MacEntity, MacTimings, WirelessChannel
 from ..mac.policies import SchedulingPolicy
 from ..metrics.collector import MetricsCollector
+from ..obs.registry import incr, phase_timer, set_gauge
 from ..net.packet import DataPacket
 from ..sim import RngRegistry, Simulator, Tracer, NULL_TRACER
 from ..traffic.cbr import (
@@ -116,13 +117,16 @@ class SimulationRun:
         """Simulate ``seconds`` of traffic and return the metrics."""
         if seconds <= 0:
             raise ValueError("duration must be positive")
-        for idx, source in enumerate(self.sources):
-            source.start(offset=idx * self.traffic.stagger)
-        horizon = seconds * US
-        self.sim.run_until(horizon)
-        for source in self.sources:
-            source.stop()
+        with phase_timer("sim.run"):
+            for idx, source in enumerate(self.sources):
+                source.start(offset=idx * self.traffic.stagger)
+            horizon = seconds * US
+            self.sim.run_until(horizon)
+            for source in self.sources:
+                source.stop()
         self.metrics.duration = horizon
+        incr("sim.runs")
+        set_gauge("sim.simulated_seconds", seconds)
         return self.metrics
 
 

@@ -2,7 +2,7 @@
 
 from .engine import Event, Simulator
 from .rng import RngRegistry
-from .trace import NULL_TRACER, TraceRecord, Tracer
+from .trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
@@ -10,5 +10,6 @@ __all__ = [
     "RngRegistry",
     "Tracer",
     "TraceRecord",
+    "NullTracer",
     "NULL_TRACER",
 ]

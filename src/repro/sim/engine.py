@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
+
+from ..obs.registry import get_registry
 
 Callback = Callable[[], None]
 
@@ -60,6 +63,7 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        self._peak_queue_depth = 0
 
     @property
     def now(self) -> float:
@@ -69,6 +73,11 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """High-water mark of the event heap (cancelled entries included)."""
+        return self._peak_queue_depth
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,6 +96,8 @@ class Simulator:
             )
         event = Event(callback, time)
         heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), event))
+        if len(self._heap) > self._peak_queue_depth:
+            self._peak_queue_depth = len(self._heap)
         return event
 
     # ------------------------------------------------------------------
@@ -114,6 +125,8 @@ class Simulator:
             raise ValueError(
                 f"end_time {end_time} is before now ({self._now})"
             )
+        start_events = self._events_processed
+        wall_start = _time.perf_counter()
         self._running = True
         while self._heap and self._running:
             entry = self._heap[0]
@@ -127,12 +140,36 @@ class Simulator:
             entry.event.callback()
         self._now = max(self._now, end_time)
         self._running = False
+        self._record_loop_metrics(start_events, wall_start, "sim.run_until")
 
     def run(self) -> None:
         """Drain every event in the heap (careful with self-rescheduling
         processes such as traffic sources — prefer :meth:`run_until`)."""
+        start_events = self._events_processed
+        wall_start = _time.perf_counter()
         while self.step():
             pass
+        self._record_loop_metrics(start_events, wall_start, "sim.run")
+
+    def _record_loop_metrics(self, start_events: int, wall_start: float,
+                             phase: str) -> None:
+        """Feed the active registry after an event-loop drain (if any).
+
+        Deliberately outside the per-event loop: with no registry active
+        the whole cost is one ``perf_counter`` call per drain, keeping
+        instrumentation overhead far below the 2% budget.
+        """
+        registry = get_registry()
+        if registry is None:
+            return
+        processed = self._events_processed - start_events
+        elapsed = _time.perf_counter() - wall_start
+        registry.timer(phase).add(elapsed)
+        registry.counter("sim.events").inc(processed)
+        registry.gauge("sim.queue_depth").set(len(self._heap))
+        registry.gauge("sim.peak_queue_depth").set(self._peak_queue_depth)
+        if elapsed > 0:
+            registry.gauge("sim.events_per_sec").set(processed / elapsed)
 
     def stop(self) -> None:
         """Stop a ``run_until`` loop after the current event returns."""

@@ -3,12 +3,14 @@
 Tracing is off by default (zero overhead beyond one branch); experiments
 and tests enable the categories they care about.  Records are plain tuples
 ``(time, category, message, fields)`` retained in memory — the simulations
-here are small enough that file-backed traces are unnecessary.
+here are small enough that file-backed traces are unnecessary.  For disk
+export, :func:`repro.obs.trace_to_records` flattens a tracer into
+JSONL-ready dicts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 
@@ -36,11 +38,17 @@ class Tracer:
     Categories used by the stack: ``mac`` (handshakes, timeouts), ``chan``
     (transmissions, collisions), ``queue`` (enqueue/drop), ``app``
     (arrivals/deliveries), ``sched`` (tag updates).
+
+    Records are indexed per category on append, so :meth:`filter` and
+    :meth:`count` cost O(records in that category) rather than scanning
+    the full log — experiments routinely enable several categories and
+    query only one.
     """
 
     def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
         self.enabled: Set[str] = set(categories or ())
         self.records: List[TraceRecord] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
 
     def enable(self, *categories: str) -> None:
         self.enabled.update(categories)
@@ -55,24 +63,55 @@ class Tracer:
             **fields: object) -> None:
         """Record an event if its category is enabled."""
         if category in self.enabled:
-            self.records.append(
-                TraceRecord(time, category, message,
-                            tuple(sorted(fields.items())))
-            )
+            record = TraceRecord(time, category, message,
+                                 tuple(sorted(fields.items())))
+            self.records.append(record)
+            bucket = self._by_category.get(category)
+            if bucket is None:
+                bucket = self._by_category[category] = []
+            bucket.append(record)
 
     def filter(self, category: str) -> List[TraceRecord]:
-        return [r for r in self.records if r.category == category]
+        return list(self._by_category.get(category, ()))
 
     def count(self, category: str, message_prefix: str = "") -> int:
-        return sum(
-            1
-            for r in self.records
-            if r.category == category and r.message.startswith(message_prefix)
-        )
+        bucket = self._by_category.get(category)
+        if not bucket:
+            return 0
+        if not message_prefix:
+            return len(bucket)
+        return sum(1 for r in bucket if r.message.startswith(message_prefix))
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_category.clear()
 
 
-#: A tracer with everything disabled, for default wiring.
-NULL_TRACER = Tracer()
+class NullTracer(Tracer):
+    """The immutable, always-off tracer used for default wiring.
+
+    The old module-level default was a plain ``Tracer()``: any component
+    calling ``.enable()`` on it silently switched tracing on (and leaked
+    records) for *every* object wired to the shared singleton.  This
+    subclass ignores ``log`` unconditionally and rejects attempts to
+    enable categories, so the hazard is structurally impossible.
+    """
+
+    def enable(self, *categories: str) -> None:
+        raise TypeError(
+            "NullTracer is immutable; construct a Tracer(categories) and "
+            "pass it to the component instead of enabling the shared "
+            "NULL_TRACER"
+        )
+
+    def log(self, time: float, category: str, message: str,
+            **fields: object) -> None:
+        pass
+
+    def active(self, category: str) -> bool:
+        return False
+
+
+#: The shared always-off tracer for default wiring.  Immutable: see
+#: :class:`NullTracer`.
+NULL_TRACER = NullTracer()
