@@ -8,6 +8,8 @@ Subcommands::
     table3 [--duration S] Table III simulation (Fig. 6 topology)
     ablation NAME         one of: alpha, cwmin, buffer, virtual-length,
                           scaling
+    verify                differential oracles + paper invariants on
+                          seeded random scenarios (fuzzing harness)
     all                   everything above with default settings
 
 Observability flags (on ``table1``/``table2``/``table3``/``ablation``/
@@ -104,6 +106,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="run one ablation study")
     p.add_argument("name", choices=sorted(ALL_ABLATIONS))
+    _add_obs_flags(p)
+
+    p = sub.add_parser(
+        "verify",
+        help="fuzz random scenarios through differential oracles and "
+             "paper-invariant checkers",
+    )
+    p.add_argument("--cases", type=int, default=50,
+                   help="number of random scenarios (default 50)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for the scenario streams (default 0)")
+    p.add_argument("--inject-fault", action="store_true",
+                   help="perturb the LP allocation to prove the checkers "
+                        "catch and shrink a bad allocation")
+    p.add_argument("--reproducer-dir", metavar="DIR", default=None,
+                   help="write shrunk failure reproducers (JSON) to DIR")
+    p.add_argument("--with-scipy", action="store_true",
+                   help="also cross-check LPs against scipy (slower)")
     _add_obs_flags(p)
 
     p = sub.add_parser("show", help="render a scenario and its analysis")
@@ -251,6 +271,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_observed(
             args, "ablation", None, {"name": args.name}, ablation_payload,
         )
+    if args.command == "verify":
+        from .verify import run_fuzz
+
+        reports: List[object] = []
+
+        def verify_payload(tracer: Tracer) -> _Payload:
+            report = run_fuzz(
+                cases=args.cases,
+                seed=args.seed,
+                inject_fault=args.inject_fault,
+                reproducer_dir=args.reproducer_dir,
+                with_scipy=args.with_scipy,
+            )
+            reports.append(report)
+            return report.render(), "random-fuzz", report.to_dict()
+
+        code = _run_observed(
+            args, "verify", args.seed,
+            {"cases": args.cases, "inject_fault": args.inject_fault},
+            verify_payload,
+        )
+        if code != 0:
+            return code
+        return 0 if reports and reports[0].ok else 1
     if args.command == "show":
         from .experiments import (
             render_allocation_comparison,

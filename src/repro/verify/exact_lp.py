@@ -1,0 +1,243 @@
+"""Exact-arithmetic reference LP solver (``fractions.Fraction``).
+
+The production solver (:mod:`repro.lp.simplex`) runs on floats with
+epsilon-guarded sign tests; this module re-implements the same two-phase
+primal simplex over exact rationals so it can serve as a *differential
+oracle*: every coefficient of a :class:`~repro.lp.problem.LinearProgram`
+is a float and therefore converts to a ``Fraction`` without rounding, so
+the optimum computed here is the mathematically exact optimum of the LP
+the float solver was given.  Agreement (status equal, objectives within a
+small tolerance) certifies the float solver on that instance; disagreement
+is a genuine bug in one of the two.
+
+Bland's rule (smallest eligible index enters, smallest basis index leaves
+on ratio ties) guarantees termination without any cycling heuristics —
+there are no epsilons anywhere in this file's pivoting logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..lp.problem import LinearProgram, LPSolution
+
+__all__ = ["ExactSolution", "solve_exact", "exact_objective"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """Result of an exact solve: rational values, rational objective."""
+
+    status: str                        # "optimal" | "infeasible" | "unbounded"
+    values: Dict[str, Fraction]
+    objective: Optional[Fraction]      # None unless optimal
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def to_lp_solution(self) -> LPSolution:
+        """Float view, shaped like the production solver's output."""
+        if not self.is_optimal:
+            obj = float("nan") if self.status == "infeasible" else float("inf")
+            return LPSolution(self.status, {}, obj)
+        return LPSolution(
+            "optimal",
+            {v: float(x) for v, x in self.values.items()},
+            float(self.objective),
+        )
+
+
+def exact_objective(lp: LinearProgram) -> Optional[Fraction]:
+    """The exact optimal objective of ``lp``, or None if not optimal."""
+    return solve_exact(lp).objective
+
+
+def solve_exact(lp: LinearProgram) -> ExactSolution:
+    """Solve ``lp`` (max c'x, Ax <= b, x >= lb) in exact arithmetic."""
+    names = lp.variables
+    if not names:
+        return ExactSolution("optimal", {}, _ZERO)
+    index = {v: j for j, v in enumerate(names)}
+    n = len(names)
+
+    c = [_ZERO] * n
+    for v, coeff in lp.objective.items():
+        c[index[v]] = Fraction(coeff)
+    lb = [Fraction(lp.lower_bounds.get(v, 0.0)) for v in names]
+
+    rows: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    for con in lp.constraints:
+        row = [_ZERO] * n
+        for v, coeff in con.coeffs.items():
+            row[index[v]] = Fraction(coeff)
+        rows.append(row)
+        # Shift out the lower bounds (y = x - lb, y >= 0), exactly.
+        rhs.append(Fraction(con.bound) - sum(
+            row[j] * lb[j] for j in range(n) if row[j]
+        ))
+
+    status, y, objective = _simplex_leq(c, rows, rhs)
+    if status != "optimal":
+        return ExactSolution(status, {}, None)
+    values = {v: y[j] + lb[j] for j, v in enumerate(names)}
+    total = sum(
+        Fraction(coeff) * values[v] for v, coeff in lp.objective.items()
+    )
+    return ExactSolution("optimal", values, Fraction(total))
+
+
+def _simplex_leq(
+    c: List[Fraction], a: List[List[Fraction]], b: List[Fraction]
+) -> Tuple[str, Optional[List[Fraction]], Optional[Fraction]]:
+    """Maximize ``c'y`` s.t. ``A y <= b``, ``y >= 0`` (b may be negative)."""
+    m, n = len(a), len(c)
+    if m == 0:
+        if any(cj > 0 for cj in c):
+            return "unbounded", None, None
+        return "optimal", [_ZERO] * n, _ZERO
+
+    # Negate rows with negative rhs into >= rows; those get a surplus and
+    # an artificial variable, plain <= rows get a slack.
+    a = [list(row) for row in a]
+    b = list(b)
+    ge = [bi < 0 for bi in b]
+    for i in range(m):
+        if ge[i]:
+            a[i] = [-x for x in a[i]]
+            b[i] = -b[i]
+
+    num_slack = sum(1 for g in ge if not g)
+    num_art = sum(1 for g in ge if g)
+    total = n + num_slack + num_art * 2  # surplus + artificial per >= row
+
+    tableau = [row + [_ZERO] * (total - n) for row in a]
+    basis = [0] * m
+    slack_j, surplus_j, art_j = n, n + num_slack, n + num_slack + num_art
+    art_start = n + num_slack + num_art
+    for i in range(m):
+        if ge[i]:
+            tableau[i][surplus_j] = -_ONE
+            tableau[i][art_j] = _ONE
+            basis[i] = art_j
+            surplus_j += 1
+            art_j += 1
+        else:
+            tableau[i][slack_j] = _ONE
+            basis[i] = slack_j
+            slack_j += 1
+
+    if num_art:
+        obj1 = [_ZERO] * total
+        for j in range(art_start, total):
+            obj1[j] = -_ONE
+        status = _run_simplex(tableau, b, obj1, basis, total)
+        if status == "unbounded":  # pragma: no cover - phase 1 is bounded
+            return "infeasible", None, None
+        infeasibility = sum(
+            b[i] for i in range(m) if basis[i] >= art_start
+        )
+        if infeasibility > 0:
+            return "infeasible", None, None
+        _drive_out_artificials(tableau, b, basis, art_start)
+
+    obj2 = [_ZERO] * total
+    for j in range(n):
+        obj2[j] = c[j]
+    status = _run_simplex(tableau, b, obj2, basis, art_start)
+    if status == "unbounded":
+        return "unbounded", None, None
+
+    y = [_ZERO] * total
+    for i in range(m):
+        y[basis[i]] = b[i]
+    objective = sum(c[j] * y[j] for j in range(n))
+    return "optimal", y[:n], Fraction(objective)
+
+
+def _run_simplex(
+    tableau: List[List[Fraction]],
+    rhs: List[Fraction],
+    obj: List[Fraction],
+    basis: List[int],
+    limit: int,
+) -> str:
+    """Pivot in place under Bland's rule; columns >= ``limit`` never enter."""
+    m = len(tableau)
+    while True:
+        entering = -1
+        in_basis = set(basis)
+        for j in range(limit):
+            if j in in_basis:
+                continue
+            reduced = obj[j] - sum(
+                obj[basis[i]] * tableau[i][j] for i in range(m)
+                if tableau[i][j]
+            )
+            if reduced > 0:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal"
+
+        leaving = -1
+        best_ratio: Optional[Fraction] = None
+        for i in range(m):
+            coeff = tableau[i][entering]
+            if coeff > 0:
+                ratio = rhs[i] / coeff
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded"
+
+        _pivot(tableau, rhs, leaving, entering)
+        basis[leaving] = entering
+
+
+def _pivot(
+    tableau: List[List[Fraction]],
+    rhs: List[Fraction],
+    row: int,
+    col: int,
+) -> None:
+    piv = tableau[row][col]
+    tableau[row] = [x / piv for x in tableau[row]]
+    rhs[row] /= piv
+    pivot_row = tableau[row]
+    for i in range(len(tableau)):
+        if i == row:
+            continue
+        factor = tableau[i][col]
+        if factor:
+            tableau[i] = [
+                x - factor * y for x, y in zip(tableau[i], pivot_row)
+            ]
+            rhs[i] -= factor * rhs[row]
+
+
+def _drive_out_artificials(
+    tableau: List[List[Fraction]],
+    rhs: List[Fraction],
+    basis: List[int],
+    art_start: int,
+) -> None:
+    """Pivot zero-valued basic artificials out on any nonzero real column."""
+    for i in range(len(tableau)):
+        if basis[i] >= art_start:
+            for j in range(art_start):
+                if tableau[i][j] != 0:
+                    _pivot(tableau, rhs, i, j)
+                    basis[i] = j
+                    break

@@ -1,0 +1,554 @@
+"""Seeded scenario fuzzer: generate → check → shrink → serialize.
+
+Drives the whole verification layer on *arbitrary* topologies.  Each case
+draws a random connected network and shortest-path flow set from a
+dedicated :class:`~repro.sim.rng.RngRegistry` stream (so case ``i`` of
+master seed ``s`` is reproducible forever and independent of every other
+case), runs every differential oracle and paper invariant from
+:mod:`repro.verify.oracles` / :mod:`repro.verify.invariants`, and — on a
+failure — *shrinks* the scenario (dropping flows, then unused nodes,
+while the same check keeps failing) down to a minimal reproducer that is
+serialized through :mod:`repro.scenarios.io` with the originating seed.
+
+The ``repro-experiments verify`` CLI subcommand and the test suite both
+run exactly this code path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..core.allocation import (
+    basic_allocation,
+    basic_fairness_lp_allocation,
+    build_basic_fairness_lp,
+    fairness_constrained_allocation,
+)
+from ..core.bounds import bound_vs_basic_consistency
+from ..core.contention import ContentionAnalysis
+from ..core.distributed import DistributedAllocator
+from ..core.model import Network, Scenario
+from ..obs.registry import incr, phase_timer
+from ..scenarios.io import scenario_to_dict
+from ..scenarios.random_topology import (
+    random_connected_network,
+    random_flows,
+)
+from ..sim.rng import RngRegistry
+from .invariants import (
+    check_basic_fairness,
+    check_clique_capacity,
+    check_fairness_constraint,
+    check_prop1_bound,
+    check_virtual_length_consistency,
+)
+from .oracles import (
+    BruteForceLimit,
+    check_2pad_against_centralized,
+    cliques_agree,
+    lp_objective_matches,
+)
+
+__all__ = [
+    "CheckOutcome",
+    "FuzzFailure",
+    "FuzzReport",
+    "VerificationSuite",
+    "generate_scenario",
+    "inject_share_fault",
+    "run_fuzz",
+    "shrink_scenario",
+]
+
+PASS, FAIL, SKIP = "pass", "fail", "skip"
+
+#: Default exhaustive-clique-enumeration cap for fuzzing (see oracles).
+FUZZ_BRUTE_FORCE_MAX_VERTICES = 16
+
+LP_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One check on one scenario: named, tri-state, with diagnostics."""
+
+    name: str
+    status: str  # pass | fail | skip
+    details: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == FAIL
+
+
+def inject_share_fault(shares: Dict[str, float],
+                       capacity: float) -> Dict[str, float]:
+    """The canonical injected fault: inflate one flow's share past B.
+
+    Bumping the lexicographically-first flow by ``B/2`` always breaks at
+    least one clique-capacity constraint of a throughput-optimal
+    allocation (every flow sits in some tight clique at the LP optimum),
+    so a healthy checker must flag it.
+    """
+    faulted = dict(shares)
+    victim = min(faulted)
+    faulted[victim] += 0.5 * capacity
+    return faulted
+
+
+class VerificationSuite:
+    """Runs every oracle + invariant against one scenario.
+
+    ``fault`` optionally post-processes the phase-1 LP allocation before
+    its invariants are checked — the hook used to prove the harness
+    actually catches bad allocations (``repro verify --inject-fault``).
+    """
+
+    def __init__(
+        self,
+        brute_force_max_vertices: int = FUZZ_BRUTE_FORCE_MAX_VERTICES,
+        lp_tol: float = LP_TOL,
+        with_scipy: bool = False,
+        fault: Optional[Callable[[Dict[str, float], float],
+                                 Dict[str, float]]] = None,
+    ) -> None:
+        self.brute_force_max_vertices = brute_force_max_vertices
+        self.lp_tol = lp_tol
+        self.with_scipy = with_scipy
+        self.fault = fault
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario) -> List[CheckOutcome]:
+        """All checks on ``scenario``; never raises on check failure."""
+        out: List[CheckOutcome] = []
+        analysis = ContentionAnalysis(scenario)
+        b = scenario.capacity
+
+        # Differential oracle: Bron–Kerbosch vs exhaustive enumeration.
+        with phase_timer("verify.cliques"):
+            try:
+                ok = cliques_agree(
+                    analysis.graph, self.brute_force_max_vertices
+                )
+                out.append(CheckOutcome(
+                    "cliques.brute_force", PASS if ok else FAIL,
+                    "" if ok else "Bron–Kerbosch != brute-force enumeration",
+                ))
+            except BruteForceLimit as exc:
+                out.append(CheckOutcome("cliques.brute_force", SKIP,
+                                        str(exc)))
+
+        # Structural invariants of the contention analysis.
+        res = check_virtual_length_consistency(scenario, analysis)
+        out.append(CheckOutcome(
+            "invariants.virtual_length", PASS if res.ok else FAIL,
+            res.details,
+        ))
+        ok = bound_vs_basic_consistency(analysis)
+        out.append(CheckOutcome(
+            "invariants.omega_le_basic_denom", PASS if ok else FAIL,
+            "" if ok else "ω_Ω > Σ w_i v_i",
+        ))
+
+        # Basic allocation: proportional, feasible, below the Prop.1 bound.
+        with phase_timer("verify.allocations"):
+            basic = basic_allocation(analysis)
+            out.extend(self._allocation_checks(
+                "basic", analysis, basic.shares, b,
+                fairness=True, prop1=True, basic_fair=True,
+            ))
+
+            # Fairness-constrained (Prop. 1) allocation: the bound itself.
+            prop1 = fairness_constrained_allocation(analysis)
+            out.extend(self._allocation_checks(
+                "prop1", analysis, prop1.shares, b,
+                fairness=True, prop1=True, basic_fair=False,
+            ))
+
+            # Phase-1 LP (2PA-C) allocation, optionally faulted.
+            lp_alloc = basic_fairness_lp_allocation(analysis)
+            lp_shares = dict(lp_alloc.shares)
+            if self.fault is not None:
+                lp_shares = self.fault(lp_shares, b)
+            out.extend(self._allocation_checks(
+                "lp", analysis, lp_shares, b,
+                fairness=False, prop1=False, basic_fair=True,
+            ))
+
+        # Differential oracle: float simplex vs exact Fraction reference,
+        # per contending flow group, plus total-objective agreement.
+        with phase_timer("verify.exact_lp"):
+            out.extend(self._lp_oracle_checks(analysis, lp_shares, b))
+
+        # Differential oracle: 2PA-D against 2PA-C.
+        with phase_timer("verify.2pad"):
+            try:
+                report = check_2pad_against_centralized(
+                    scenario, lp_alloc.shares, analysis=analysis,
+                    tol=self.lp_tol,
+                )
+                out.append(CheckOutcome(
+                    "2pad.vs_centralized", PASS if report["ok"] else FAIL,
+                    "; ".join(report["mismatches"][:3]),
+                ))
+            except Exception as exc:  # a crash in 2PA-D is a finding too
+                out.append(CheckOutcome(
+                    "2pad.vs_centralized", FAIL,
+                    f"{type(exc).__name__}: {exc}",
+                ))
+        return out
+
+    # ------------------------------------------------------------------
+    def _allocation_checks(
+        self,
+        label: str,
+        analysis: ContentionAnalysis,
+        shares: Dict[str, float],
+        capacity: float,
+        fairness: bool,
+        prop1: bool,
+        basic_fair: bool,
+    ) -> List[CheckOutcome]:
+        out: List[CheckOutcome] = []
+        res = check_clique_capacity(analysis, shares, capacity,
+                                    tol=self.lp_tol)
+        out.append(CheckOutcome(f"{label}.clique_capacity",
+                                PASS if res.ok else FAIL, res.details))
+        if basic_fair:
+            res = check_basic_fairness(analysis, shares, capacity)
+            out.append(CheckOutcome(f"{label}.basic_fairness",
+                                    PASS if res.ok else FAIL, res.details))
+        if fairness:
+            res = check_fairness_constraint(analysis, shares)
+            out.append(CheckOutcome(f"{label}.fairness_constraint",
+                                    PASS if res.ok else FAIL, res.details))
+        if prop1:
+            res = check_prop1_bound(analysis, shares, capacity)
+            out.append(CheckOutcome(f"{label}.prop1_bound",
+                                    PASS if res.ok else FAIL, res.details))
+        return out
+
+    def _lp_oracle_checks(
+        self,
+        analysis: ContentionAnalysis,
+        lp_shares: Dict[str, float],
+        capacity: float,
+    ) -> List[CheckOutcome]:
+        out: List[CheckOutcome] = []
+        diff_ok, total_ok = True, True
+        details_diff, details_total = [], []
+        for group in analysis.groups:
+            lp = build_basic_fairness_lp(analysis, group, capacity)
+            report = lp_objective_matches(lp, tol=self.lp_tol,
+                                          with_scipy=self.with_scipy)
+            if not report["ok"]:
+                diff_ok = False
+                details_diff.append(
+                    f"group [{','.join(f.flow_id for f in group)}]: "
+                    f"{report}"
+                )
+                continue
+            exact_obj = report.get("exact_objective")
+            if exact_obj is not None:
+                total = sum(lp_shares.get(f.flow_id, 0.0) for f in group)
+                if abs(total - exact_obj) > self.lp_tol:
+                    total_ok = False
+                    details_total.append(
+                        f"group [{','.join(f.flow_id for f in group)}]: "
+                        f"allocated total {total:.9g} != exact optimum "
+                        f"{exact_obj:.9g}"
+                    )
+        out.append(CheckOutcome(
+            "lp.float_vs_exact", PASS if diff_ok else FAIL,
+            "; ".join(details_diff),
+        ))
+        out.append(CheckOutcome(
+            "lp.allocation_total_optimal", PASS if total_ok else FAIL,
+            "; ".join(details_total),
+        ))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Scenario generation
+# ----------------------------------------------------------------------
+
+def generate_scenario(registry: RngRegistry, index: int) -> Scenario:
+    """Case ``index`` of the registry's master seed.
+
+    All randomness flows through the ``("verify", index)`` stream, so
+    adding cases never perturbs earlier ones and any case regenerates
+    from ``(master_seed, index)`` alone.
+    """
+    stream = registry.stream(("verify", index))
+    for _ in range(25):
+        num_nodes = int(stream.integers(6, 13))
+        num_flows = int(stream.integers(2, 5))
+        topo_seed = int(stream.integers(0, 2**31 - 1))
+        flow_seed = int(stream.integers(0, 2**31 - 1))
+        weights = ([1.0], [1.0, 2.0], [1.0, 2.0, 3.0])[
+            int(stream.integers(0, 3))
+        ]
+        max_hops = (None, 3, 4)[int(stream.integers(0, 3))]
+        try:
+            network = random_connected_network(num_nodes, seed=topo_seed)
+            flows = random_flows(
+                network, num_flows, seed=flow_seed,
+                max_hops=max_hops, weights=list(weights),
+            )
+        except RuntimeError:
+            continue  # unconnectable/unroutable draw; redraw from stream
+        return Scenario(
+            network, flows,
+            name=f"verify-s{registry.master_seed}-c{index}",
+            capacity=1.0,
+        )
+    raise RuntimeError(
+        f"could not generate case {index} for seed {registry.master_seed}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+def _drop_flow(scenario: Scenario, flow_id: str) -> Optional[Scenario]:
+    flows = [f for f in scenario.flows if f.flow_id != flow_id]
+    if not flows:
+        return None
+    return Scenario(scenario.network, flows, name=scenario.name,
+                    capacity=scenario.capacity)
+
+
+def _drop_node(scenario: Scenario, node: str) -> Optional[Scenario]:
+    net = scenario.network
+    if any(node in f.path for f in scenario.flows):
+        return None
+    if net.explicit_links is not None:
+        nodes = [n for n in net.positions if n != node]
+        links = [tuple(l) for l in net.explicit_links if node not in l]
+        shrunk = Network.from_links(nodes, links)
+    else:
+        positions = {n: p for n, p in net.positions.items() if n != node}
+        shrunk = Network.from_positions(positions, net.tx_range)
+    return Scenario(shrunk, list(scenario.flows), name=scenario.name,
+                    capacity=scenario.capacity)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+) -> Scenario:
+    """Greedy shrink: drop flows, then unused nodes, while still failing.
+
+    ``still_fails`` must return True when the candidate scenario still
+    exhibits the original failure; candidates that crash it are rejected
+    so the reproducer stays faithful to the original symptom.
+    """
+    def fails(candidate: Scenario) -> bool:
+        try:
+            return still_fails(candidate)
+        except Exception:
+            return False
+
+    current = scenario
+    progress = True
+    while progress:
+        progress = False
+        for flow in list(current.flows):
+            candidate = _drop_flow(current, flow.flow_id)
+            if candidate is not None and fails(candidate):
+                current = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        used = {n for f in current.flows for n in f.path}
+        for node in current.network.nodes:
+            if node in used:
+                continue
+            candidate = _drop_node(current, node)
+            if candidate is not None and fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Fuzz driver
+# ----------------------------------------------------------------------
+
+@dataclass
+class FuzzFailure:
+    """One failing case, with its shrunk reproducer."""
+
+    case: int
+    check: str
+    details: str
+    scenario: Dict[str, object]          # original (serialized)
+    shrunk: Dict[str, object]            # minimal reproducer (serialized)
+    reproducer_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "check": self.check,
+            "details": self.details,
+            "scenario": self.scenario,
+            "shrunk": self.shrunk,
+            "reproducer_path": self.reproducer_path,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one fuzzing run, renderable and artifact-ready."""
+
+    cases: int
+    seed: int
+    inject_fault: bool
+    checks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Healthy run: no failures — unless a fault was injected, in
+        which case the harness is healthy only if it *caught* something."""
+        if self.inject_fault:
+            return bool(self.failures)
+        return not self.failures
+
+    def tally(self, outcome: CheckOutcome) -> None:
+        row = self.checks.setdefault(
+            outcome.name, {PASS: 0, FAIL: 0, SKIP: 0}
+        )
+        row[outcome.status] += 1
+        incr(f"verify.{outcome.name}.{outcome.status}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cases": self.cases,
+            "seed": self.seed,
+            "inject_fault": self.inject_fault,
+            "ok": self.ok,
+            "checks": {k: dict(v) for k, v in sorted(self.checks.items())},
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"repro verify: {self.cases} case(s), seed {self.seed}"
+            + (" [fault injected]" if self.inject_fault else ""),
+            "",
+            f"  {'check':<34} {'pass':>6} {'fail':>6} {'skip':>6}",
+        ]
+        for name in sorted(self.checks):
+            row = self.checks[name]
+            lines.append(
+                f"  {name:<34} {row[PASS]:>6} {row[FAIL]:>6} {row[SKIP]:>6}"
+            )
+        lines.append("")
+        if self.failures:
+            lines.append(f"{len(self.failures)} failure(s):")
+            for f in self.failures:
+                where = f" -> {f.reproducer_path}" if f.reproducer_path \
+                    else ""
+                shrunk_flows = len(f.shrunk.get("flows", []))
+                lines.append(
+                    f"  case {f.case}: {f.check} "
+                    f"(shrunk to {shrunk_flows} flow(s)){where}"
+                )
+                if f.details:
+                    lines.append(f"    {f.details}")
+        else:
+            lines.append("all checks passed")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    cases: int = 50,
+    seed: int = 0,
+    inject_fault: bool = False,
+    reproducer_dir: Optional[str] = None,
+    brute_force_max_vertices: int = FUZZ_BRUTE_FORCE_MAX_VERTICES,
+    with_scipy: bool = False,
+    max_failures: int = 5,
+) -> FuzzReport:
+    """Run ``cases`` seeded scenarios through the verification suite.
+
+    On a failing check the scenario is shrunk to a minimal reproducer; if
+    ``reproducer_dir`` is given, the reproducer (scenario + seed + check
+    name) is written there as JSON.  After ``max_failures`` distinct
+    failures the run stops early — a systemic bug does not need 200
+    identical shrink sessions.
+    """
+    registry = RngRegistry(seed)
+    fault = inject_share_fault if inject_fault else None
+    suite = VerificationSuite(
+        brute_force_max_vertices=brute_force_max_vertices,
+        with_scipy=with_scipy,
+        fault=fault,
+    )
+    report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault)
+
+    for index in range(cases):
+        with phase_timer("verify.case"):
+            scenario = generate_scenario(registry, index)
+            outcomes = suite.run(scenario)
+        incr("verify.cases")
+        for outcome in outcomes:
+            report.tally(outcome)
+        failed = [o for o in outcomes if o.failed]
+        if not failed:
+            continue
+        first = failed[0]
+
+        def still_fails(candidate: Scenario) -> bool:
+            return any(
+                o.name == first.name and o.failed
+                for o in suite.run(candidate)
+            )
+
+        with phase_timer("verify.shrink"):
+            minimal = shrink_scenario(scenario, still_fails)
+        failure = FuzzFailure(
+            case=index,
+            check=first.name,
+            details=first.details,
+            scenario=scenario_to_dict(scenario),
+            shrunk=scenario_to_dict(minimal),
+        )
+        if reproducer_dir is not None:
+            failure.reproducer_path = _write_reproducer(
+                reproducer_dir, seed, index, first.name, failure
+            )
+        report.failures.append(failure)
+        incr("verify.failures")
+        if len(report.failures) >= max_failures:
+            break
+    return report
+
+
+def _write_reproducer(
+    directory: str, seed: int, case: int, check: str, failure: FuzzFailure
+) -> str:
+    """Serialize a shrunk failure for humans, CI artifacts, and replay."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe_check = check.replace("/", "_").replace(" ", "_")
+    path = out_dir / f"verify-reproducer-s{seed}-c{case}-{safe_check}.json"
+    doc = {
+        "kind": "repro.verify/reproducer",
+        "seed": seed,
+        "case": case,
+        "check": check,
+        "details": failure.details,
+        "scenario": failure.shrunk,
+        "original_scenario": failure.scenario,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return str(path)

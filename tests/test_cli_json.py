@@ -129,6 +129,52 @@ class TestAblationJson:
         assert doc["results"]["points"]
 
 
+class TestVerifyCli:
+    def test_json_artifact_with_verify_counters(self, capsys):
+        code, out = _run_cli(capsys, ["verify", "--cases", "5", "--seed",
+                                      "0", "--json"])
+        assert code == 0
+        doc = json.loads(out)
+        validate_artifact(doc)
+        assert doc["kind"] == "verify"
+        assert doc["scenario"] == "random-fuzz"
+        assert doc["seed"] == 0
+        assert doc["config"] == {"cases": 5, "inject_fault": False}
+        assert doc["results"]["ok"] is True
+        assert doc["results"]["failures"] == []
+        counters = doc["metrics"]["counters"]
+        assert counters["verify.cases"] == 5
+        assert counters["verify.cliques.brute_force.pass"] >= 1
+        assert counters["verify.lp.float_vs_exact.pass"] == 5
+        timers = doc["metrics"]["timers"]
+        for phase in ("verify.case", "verify.cliques",
+                      "verify.allocations", "verify.exact_lp",
+                      "verify.2pad"):
+            assert phase in timers, f"missing phase {phase}"
+
+    def test_human_table(self, capsys):
+        code, out = _run_cli(capsys, ["verify", "--cases", "2"])
+        assert code == 0
+        assert "repro verify: 2 case(s), seed 0" in out
+        assert "all checks passed" in out
+
+    def test_inject_fault_writes_reproducer_and_exits_zero(
+        self, capsys, tmp_path
+    ):
+        # Exit 0: the harness is healthy exactly when the fault IS caught.
+        code, out = _run_cli(capsys, [
+            "verify", "--cases", "3", "--inject-fault",
+            "--reproducer-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "[fault injected]" in out
+        reproducers = list(tmp_path.glob("verify-reproducer-*.json"))
+        assert reproducers
+        doc = json.loads(reproducers[0].read_text())
+        assert doc["kind"] == "repro.verify/reproducer"
+        assert doc["check"] == "lp.clique_capacity"
+
+
 class TestTraceFlag:
     def test_trace_embedded_in_artifact(self, tmp_path, capsys):
         path = tmp_path / "t2.jsonl"

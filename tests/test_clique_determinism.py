@@ -1,0 +1,93 @@
+"""Determinism of the clique layer: stable ordering, order-invariance,
+and exhaustive agreement with the brute-force oracle on small graphs."""
+
+import itertools
+import random
+
+from repro.graphs import Graph, maximal_cliques
+from repro.verify import brute_force_maximal_cliques
+
+
+def random_graph(n, p, rng):
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in itertools.combinations(range(n), 2):
+        if rng.random() < p:
+            g.add_edge(u, v)
+    return g
+
+
+def shuffled_copy(graph, rng):
+    """Same graph, vertices and edges inserted in a random order."""
+    vertices = list(graph.vertices())
+    edges = [
+        (u, v) for u in vertices for v in graph.neighbors(u) if repr(u) < repr(v)
+    ]
+    rng.shuffle(vertices)
+    rng.shuffle(edges)
+    out = Graph()
+    for v in vertices:
+        out.add_vertex(v)
+    for u, v in edges:
+        out.add_edge(u, v)
+    return out
+
+
+class TestStableOrdering:
+    def test_repeated_runs_identical(self):
+        rng = random.Random(0)
+        g = random_graph(9, 0.5, rng)
+        first = maximal_cliques(g)
+        for _ in range(5):
+            assert maximal_cliques(g) == first
+
+    def test_insertion_order_invariant(self):
+        rng = random.Random(1)
+        for trial in range(20):
+            g = random_graph(8, 0.4 + 0.02 * trial, rng)
+            want = maximal_cliques(g)
+            for _ in range(3):
+                assert maximal_cliques(shuffled_copy(g, rng)) == want
+
+    def test_ordering_key_largest_first_then_lexicographic(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        cliques = maximal_cliques(g)
+        sizes = [len(c) for c in cliques]
+        assert sizes == sorted(sizes, reverse=True)
+        assert cliques[0] == frozenset({0, 1, 2})
+
+
+class TestBruteForceEquality:
+    def test_exhaustive_all_graphs_up_to_4(self):
+        pairs = list(itertools.combinations(range(4), 2))
+        for bits in range(2 ** len(pairs)):
+            g = Graph()
+            for v in range(4):
+                g.add_vertex(v)
+            for i, (u, v) in enumerate(pairs):
+                if bits >> i & 1:
+                    g.add_edge(u, v)
+            assert maximal_cliques(g) == brute_force_maximal_cliques(g)
+
+    def test_random_graphs_up_to_8(self):
+        rng = random.Random(2)
+        for trial in range(60):
+            n = rng.randint(1, 8)
+            g = random_graph(n, rng.uniform(0.1, 0.9), rng)
+            assert maximal_cliques(g) == brute_force_maximal_cliques(g), (
+                trial, sorted(map(repr, g.vertices()))
+            )
+
+    def test_complete_graph(self):
+        g = Graph()
+        for u, v in itertools.combinations(range(6), 2):
+            g.add_edge(u, v)
+        assert maximal_cliques(g) == [frozenset(range(6))]
+        assert brute_force_maximal_cliques(g) == [frozenset(range(6))]
+
+    def test_string_vertices(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert maximal_cliques(g) == brute_force_maximal_cliques(g) == [
+            frozenset({"a", "b"}), frozenset({"b", "c"}),
+        ]

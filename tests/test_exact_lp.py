@@ -1,0 +1,186 @@
+"""Exact-Fraction reference solver + degenerate float-simplex cases.
+
+Every degenerate shape the float solver must survive — Bland-rule ties,
+negative shifted right-hand sides that force phase-1 entry, unbounded and
+infeasible programs — is cross-checked against the independent exact
+solver, which uses no epsilons at all.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp import LinearProgram, solve
+from repro.verify import exact_objective, lp_objective_matches, solve_exact
+
+
+def both(lp):
+    return solve(lp, "simplex"), solve_exact(lp)
+
+
+class TestExactSolverBasics:
+    def test_trivial_bounded(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_constraint({"x": 1.0}, 5.0)
+        sol = solve_exact(lp)
+        assert sol.status == "optimal"
+        assert sol.objective == Fraction(5)
+        assert sol.values["x"] == Fraction(5)
+
+    def test_objective_is_exact_fraction(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_constraint({"x": 3.0}, 1.0)
+        sol = solve_exact(lp)
+        assert sol.objective == Fraction(1, 3)
+        assert exact_objective(lp) == Fraction(1, 3)
+
+    def test_lower_bounds_respected_exactly(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 1.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 1.0)
+        lp.set_lower_bound("y", 0.25)
+        sol = solve_exact(lp)
+        assert sol.status == "optimal"
+        assert sol.values["y"] >= Fraction(1, 4)
+        assert sol.objective == Fraction(1)
+
+    def test_to_lp_solution_roundtrip(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 2.0)
+        lp.add_constraint({"x": 1.0}, 1.5)
+        as_float = solve_exact(lp).to_lp_solution()
+        assert as_float.is_optimal
+        assert as_float.objective == pytest.approx(3.0)
+        assert as_float.values["x"] == pytest.approx(1.5)
+
+
+class TestDegenerateCases:
+    def test_bland_ties_terminate(self):
+        """Many identical rows create degenerate vertices with tied
+        ratio tests; Bland's rule must still terminate on both solvers
+        and land on the same objective."""
+        lp = LinearProgram()
+        for name in ("x", "y", "z"):
+            lp.add_variable(name, 1.0)
+        # Redundant, tie-producing constraints through the same vertex.
+        lp.add_constraint({"x": 1.0, "y": 1.0, "z": 1.0}, 1.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 1.0)
+        lp.add_constraint({"x": 1.0, "z": 1.0}, 1.0)
+        lp.add_constraint({"y": 1.0, "z": 1.0}, 1.0)
+        lp.add_constraint({"x": 1.0}, 1.0)
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "optimal"
+        assert exact_sol.objective == Fraction(1)
+        assert float_sol.objective == pytest.approx(1.0)
+
+    def test_zero_rhs_degeneracy(self):
+        """A constraint with bound 0 makes the origin degenerate."""
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 2.0)
+        lp.add_constraint({"x": 1.0, "y": -1.0}, 0.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 4.0)
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "optimal"
+        assert exact_sol.objective == Fraction(8)  # x=0, y=4
+        assert float_sol.objective == pytest.approx(8.0)
+
+    def test_negative_shifted_rhs_needs_phase1(self):
+        """Lower bounds can push a shifted rhs negative (b_shift < 0):
+        the origin of the shifted program is infeasible, so the solver
+        must enter phase 1 rather than start from the slack basis."""
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 1.0)
+        # x >= 3 makes the shifted rhs of the second row 2 - 3 = -1.
+        lp.set_lower_bound("x", 3.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 5.0)
+        lp.add_constraint({"x": 1.0, "y": -1.0}, 2.0)
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "optimal"
+        # Row 2 forces y >= x - 2 >= 1; optimum x + y = 5 on row 1.
+        assert exact_sol.objective == Fraction(5)
+        assert float_sol.objective == pytest.approx(5.0)
+        assert exact_sol.values["x"] >= Fraction(3)
+        assert float_sol.values["x"] >= 3.0 - 1e-9
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 1.0)
+        lp.add_constraint({"x": 1.0, "y": -1.0}, 1.0)  # y is unbounded
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "unbounded"
+        assert exact_sol.objective is None
+
+    def test_infeasible_lower_bounds(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_constraint({"x": 1.0}, 1.0)
+        lp.set_lower_bound("x", 2.0)
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "infeasible"
+
+    def test_infeasible_conflicting_rows(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 1.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 1.0)
+        lp.set_lower_bound("x", 0.75)
+        lp.set_lower_bound("y", 0.75)
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "infeasible"
+
+    def test_tight_equality_like_vertex(self):
+        """Lower bounds exactly fill the capacity: feasible region is a
+        single point, a maximally degenerate vertex."""
+        lp = LinearProgram()
+        for i in range(4):
+            lp.add_variable(f"x{i}", 1.0)
+            lp.set_lower_bound(f"x{i}", 0.25)
+        lp.add_constraint({f"x{i}": 1.0 for i in range(4)}, 1.0)
+        float_sol, exact_sol = both(lp)
+        assert float_sol.status == exact_sol.status == "optimal"
+        assert exact_sol.objective == Fraction(1)
+        for i in range(4):
+            assert exact_sol.values[f"x{i}"] == Fraction(1, 4)
+
+    def test_fractional_pivots_stay_exact(self):
+        """Coefficients chosen so pivots produce non-terminating binary
+        fractions: the exact solver must not lose a single ulp."""
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 1.0)
+        lp.add_constraint({"x": 3.0, "y": 1.0}, 1.0)
+        lp.add_constraint({"x": 1.0, "y": 3.0}, 1.0)
+        float_sol, exact_sol = both(lp)
+        assert exact_sol.objective == Fraction(1, 2)
+        assert float_sol.objective == pytest.approx(0.5)
+        assert exact_sol.values["x"] == Fraction(1, 4)
+        assert exact_sol.values["y"] == Fraction(1, 4)
+
+    def test_differential_report_on_degenerate_cases(self):
+        """The oracle wrapper agrees on every degenerate case above."""
+        lps = []
+
+        lp = LinearProgram()
+        for name in ("x", "y"):
+            lp.add_variable(name, 1.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 1.0)
+        lp.add_constraint({"x": 1.0}, 1.0)
+        lps.append(lp)
+
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 1.0)
+        lp.set_lower_bound("x", 3.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 5.0)
+        lp.add_constraint({"x": 1.0, "y": -1.0}, 2.0)
+        lps.append(lp)
+
+        for lp in lps:
+            report = lp_objective_matches(lp, with_scipy=True)
+            assert report["ok"], report

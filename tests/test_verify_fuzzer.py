@@ -1,0 +1,198 @@
+"""Fuzz harness: generation determinism, the suite, shrinking, fault
+injection (the generate → check → shrink → serialize loop end to end)."""
+
+import json
+
+import pytest
+
+from repro.scenarios.io import scenario_from_dict, scenario_to_dict
+from repro.sim.rng import RngRegistry
+from repro.verify import (
+    VerificationSuite,
+    generate_scenario,
+    inject_share_fault,
+    run_fuzz,
+    shrink_scenario,
+)
+from repro.verify.fuzzer import FAIL, PASS
+
+
+class TestGeneration:
+    def test_deterministic_per_seed_and_index(self):
+        a = generate_scenario(RngRegistry(7), 3)
+        b = generate_scenario(RngRegistry(7), 3)
+        assert scenario_to_dict(a) == scenario_to_dict(b)
+
+    def test_cases_are_independent_of_each_other(self):
+        """Case 3 regenerates identically whether or not cases 0-2 were
+        drawn first from the same registry (dedicated streams)."""
+        registry = RngRegistry(7)
+        for i in range(3):
+            generate_scenario(registry, i)
+        after_others = generate_scenario(registry, 3)
+        fresh = generate_scenario(RngRegistry(7), 3)
+        assert scenario_to_dict(after_others) == scenario_to_dict(fresh)
+
+    def test_different_seeds_differ(self):
+        a = generate_scenario(RngRegistry(0), 0)
+        b = generate_scenario(RngRegistry(1), 0)
+        assert scenario_to_dict(a) != scenario_to_dict(b)
+
+    def test_generated_scenarios_are_wellformed(self):
+        for index in range(5):
+            s = generate_scenario(RngRegistry(11), index)
+            assert len(s.flows) >= 2
+            for f in s.flows:
+                assert len(f.path) >= 2
+                assert all(n in s.network.nodes for n in f.path)
+
+    def test_roundtrips_through_io(self):
+        s = generate_scenario(RngRegistry(3), 1)
+        back = scenario_from_dict(scenario_to_dict(s))
+        assert scenario_to_dict(back) == scenario_to_dict(s)
+
+
+class TestSuite:
+    def test_healthy_scenario_all_pass(self):
+        scenario = generate_scenario(RngRegistry(0), 0)
+        outcomes = VerificationSuite().run(scenario)
+        assert len(outcomes) == 15
+        assert all(o.status == PASS for o in outcomes), [
+            (o.name, o.status, o.details) for o in outcomes
+        ]
+
+    def test_injected_fault_is_caught(self):
+        scenario = generate_scenario(RngRegistry(0), 0)
+        suite = VerificationSuite(fault=inject_share_fault)
+        failed = {o.name for o in suite.run(scenario) if o.failed}
+        # The inflated share must at least overload a clique.
+        assert "lp.clique_capacity" in failed
+
+    def test_check_names_are_stable(self):
+        scenario = generate_scenario(RngRegistry(0), 1)
+        names = [o.name for o in VerificationSuite().run(scenario)]
+        assert names == [
+            "cliques.brute_force",
+            "invariants.virtual_length",
+            "invariants.omega_le_basic_denom",
+            "basic.clique_capacity",
+            "basic.basic_fairness",
+            "basic.fairness_constraint",
+            "basic.prop1_bound",
+            "prop1.clique_capacity",
+            "prop1.fairness_constraint",
+            "prop1.prop1_bound",
+            "lp.clique_capacity",
+            "lp.basic_fairness",
+            "lp.float_vs_exact",
+            "lp.allocation_total_optimal",
+            "2pad.vs_centralized",
+        ]
+
+
+class TestShrinking:
+    def test_shrinks_to_single_flow_when_any_flow_fails(self):
+        scenario = generate_scenario(RngRegistry(0), 0)
+        assert len(scenario.flows) >= 2
+        minimal = shrink_scenario(scenario, lambda s: True)
+        assert len(minimal.flows) == 1
+        # Unused nodes are pruned too.
+        used = {n for f in minimal.flows for n in f.path}
+        assert set(minimal.network.nodes) == used
+
+    def test_keeps_scenario_when_shrink_breaks_failure(self):
+        scenario = generate_scenario(RngRegistry(0), 0)
+        n = len(scenario.flows)
+        minimal = shrink_scenario(
+            scenario, lambda s: len(s.flows) == n
+        )
+        assert len(minimal.flows) == n
+
+    def test_crashing_candidates_are_rejected(self):
+        scenario = generate_scenario(RngRegistry(0), 0)
+
+        def predicate(s):
+            if len(s.flows) < len(scenario.flows):
+                raise RuntimeError("checker crashed on candidate")
+            return True
+
+        minimal = shrink_scenario(scenario, predicate)
+        assert len(minimal.flows) == len(scenario.flows)
+
+
+class TestRunFuzz:
+    def test_clean_run(self):
+        report = run_fuzz(cases=10, seed=0)
+        assert report.ok
+        assert not report.failures
+        assert report.checks["cliques.brute_force"][PASS] >= 1
+        for name, row in report.checks.items():
+            assert row[FAIL] == 0, (name, row)
+
+    def test_fault_injection_end_to_end(self, tmp_path):
+        """Acceptance path: injected fault caught, shrunk to a minimal
+        scenario, serialized with its originating seed, and reloadable."""
+        report = run_fuzz(
+            cases=5, seed=0, inject_fault=True,
+            reproducer_dir=str(tmp_path),
+        )
+        assert report.ok  # with a fault injected, ok == caught something
+        assert report.failures
+        failure = report.failures[0]
+        assert failure.check == "lp.clique_capacity"
+        # Shrunk at least as small, and still well-formed.
+        assert len(failure.shrunk["flows"]) <= len(
+            failure.scenario["flows"]
+        )
+        doc = json.loads(open(failure.reproducer_path).read())
+        assert doc["kind"] == "repro.verify/reproducer"
+        assert doc["seed"] == 0
+        assert doc["check"] == "lp.clique_capacity"
+        reloaded = scenario_from_dict(doc["scenario"])
+        assert reloaded.flows  # replayable
+        # The shrunk reproducer still fails the same check.
+        suite = VerificationSuite(fault=inject_share_fault)
+        assert any(
+            o.name == failure.check and o.failed
+            for o in suite.run(reloaded)
+        )
+
+    def test_missing_fault_means_unhealthy(self):
+        """A fault-injected run that catches nothing reports not-ok:
+        guards against the checkers rotting into yes-men."""
+        report = run_fuzz(cases=3, seed=0, inject_fault=True)
+        assert report.failures  # sanity: the fault IS caught today
+        report.failures.clear()
+        assert not report.ok
+
+    def test_report_dict_shape(self):
+        report = run_fuzz(cases=3, seed=1)
+        doc = report.to_dict()
+        assert doc["cases"] == 3
+        assert doc["seed"] == 1
+        assert doc["ok"] is True
+        assert set(doc["checks"]) == {
+            o for o in doc["checks"]
+        }
+        for row in doc["checks"].values():
+            assert set(row) == {"pass", "fail", "skip"}
+
+    def test_render_mentions_every_check(self):
+        report = run_fuzz(cases=2, seed=0)
+        text = report.render()
+        for name in report.checks:
+            assert name in text
+        assert "all checks passed" in text
+
+    def test_max_failures_stops_early(self, tmp_path):
+        report = run_fuzz(
+            cases=50, seed=0, inject_fault=True, max_failures=2,
+        )
+        assert len(report.failures) == 2
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_fuzz_is_reproducible(seed):
+    a = run_fuzz(cases=4, seed=seed)
+    b = run_fuzz(cases=4, seed=seed)
+    assert a.to_dict() == b.to_dict()
