@@ -23,7 +23,8 @@ from repro.sched import build_2pa
 from repro.sim import Simulator
 
 
-@pytest.mark.parametrize("nodes,flows", [(15, 4), (30, 8)])
+@pytest.mark.parametrize("nodes,flows",
+                         [(15, 4), (30, 8), (60, 16), (100, 24)])
 def test_bench_contention_plus_lp(benchmark, nodes, flows):
     scenario = make_random_scenario(num_nodes=nodes, num_flows=flows,
                                     seed=3, max_hops=5)
@@ -149,6 +150,62 @@ def test_emit_obs_baseline():
     }
     obs.atomic_write_text(out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
     assert json.load(open(out))["points"]
+
+
+#: (nodes, flows) points for the set-vs-bitset clique kernel comparison;
+#: the last entry is the headline (densest contention graph measured).
+_CLIQUE_KERNEL_SIZES = ((60, 16), (100, 24), (100, 48))
+
+
+def test_emit_perf_clique_kernels(perf_section):
+    """Emit the ``clique_kernels`` section of BENCH_perf.json.
+
+    Times the set-based reference kernel against the bitset kernel on the
+    same contention graphs (best-of-5 each, GC parked between rounds),
+    asserts they agree exactly, and records the speedup trajectory.  The
+    checked-in numbers gate future regressions via the ``perf_section``
+    fixture.
+    """
+    import gc
+    import time
+
+    from repro.core.contention import subflow_contention_graph
+    from repro.graphs.cliques import maximal_cliques_set
+    from repro.perf.cliques import maximal_cliques_bitset
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        result = None
+        for _ in range(rounds):
+            gc.collect()
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    points = []
+    for nodes, flows in _CLIQUE_KERNEL_SIZES:
+        scenario = make_random_scenario(num_nodes=nodes, num_flows=flows,
+                                        seed=3)
+        graph = subflow_contention_graph(scenario.network, scenario.flows)
+        set_s, set_cliques = best_of(lambda: maximal_cliques_set(graph))
+        bit_s, bit_cliques = best_of(lambda: maximal_cliques_bitset(graph))
+        assert set_cliques == bit_cliques
+        points.append({
+            "nodes": nodes,
+            "flows": flows,
+            "vertices": graph.num_vertices(),
+            "cliques": len(bit_cliques),
+            "set_ms": set_s * 1e3,
+            "bitset_ms": bit_s * 1e3,
+            "speedup": set_s / bit_s,
+        })
+
+    perf_section("clique_kernels", {
+        "kernel": "bitset Bron-Kerbosch vs set-based reference",
+        "points": points,
+        "headline_speedup": points[-1]["speedup"],
+    })
 
 
 def test_obs_disabled_overhead_under_two_percent():

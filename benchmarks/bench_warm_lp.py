@@ -1,0 +1,130 @@
+"""Benches for warm-started LP re-solves.
+
+A capacity sweep over one contention structure is the cleanest sibling
+family the allocator produces: every capacity value yields max-min LPs
+with identical variables and constraint supports and only the right-hand
+sides perturbed — exactly what :class:`repro.perf.warm.WarmLPCache`
+keys on.  The bench solves the sweep cold (fresh simplex per LP) and
+warm (basis replay plus prefix extension across the max-min rounds),
+asserts the two produce bitwise-identical allocations, and reports the
+pivot-count reduction — a deterministic quantity, unlike wall time, so
+it doubles as the regression gate for the warm-start machinery.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.allocation import basic_fairness_lp_allocation
+from repro.core.contention import ContentionAnalysis, subflow_contention_graph
+from repro.core.model import Scenario
+from repro.graphs.cliques import maximal_cliques
+from repro.perf.warm import WarmLPCache
+from repro.scenarios import make_random_scenario
+
+#: Capacity multipliers for the sibling-LP sweep (structure constant,
+#: right-hand sides perturbed).
+_CAPACITY_SWEEP = (1.0, 0.8, 1.25, 0.9, 1.1, 0.75, 1.5)
+
+
+def _sweep_analyses(nodes, flows, seed):
+    base = make_random_scenario(num_nodes=nodes, num_flows=flows, seed=seed)
+    graph = subflow_contention_graph(base.network, base.flows)
+    cliques = maximal_cliques(graph)
+    out = []
+    for mult in _CAPACITY_SWEEP:
+        sc = Scenario(base.network, base.flows, name=f"cap-{mult}",
+                      capacity=base.capacity * mult)
+        out.append(ContentionAnalysis(sc, graph=graph, cliques=cliques))
+    return out
+
+
+def _solve_sweep(analyses, backend):
+    return [dict(basic_fairness_lp_allocation(a, backend=backend).shares)
+            for a in analyses]
+
+
+@pytest.mark.parametrize("nodes,flows", [(30, 8), (60, 16)])
+def test_warm_sweep_matches_cold_bitwise(nodes, flows):
+    analyses = _sweep_analyses(nodes, flows, seed=3)
+    cold = _solve_sweep(analyses, "simplex")
+    warm = WarmLPCache()
+    assert _solve_sweep(analyses, warm.solver) == cold
+    assert warm.hits > 0
+
+
+@pytest.mark.parametrize("nodes,flows", [(30, 8)])
+def test_bench_warm_sweep(benchmark, nodes, flows):
+    """The capacity sweep through the warm path (cache pre-seeded)."""
+    analyses = _sweep_analyses(nodes, flows, seed=3)
+    warm = WarmLPCache()
+    _solve_sweep(analyses, warm.solver)  # seed the basis cache
+    out = benchmark(_solve_sweep, analyses, warm.solver)
+    assert len(out) == len(_CAPACITY_SWEEP)
+
+
+#: (nodes, flows, seed) points for the cold-vs-warm sweep comparison.
+_WARM_SIZES = ((30, 8, 3), (60, 16, 3), (80, 24, 3))
+
+
+def test_emit_perf_warm_lp(perf_section):
+    """Emit the ``warm_lp`` section of BENCH_perf.json.
+
+    Solves the capacity sweep cold and warm (best-of-3 each, GC parked
+    between rounds), asserts bitwise-identical allocations, and records
+    wall times plus the simplex pivot counts for one run of each path.
+    Pivot counts are deterministic, so ``pivot_reduction`` is the stable
+    gating metric; the times contextualize it.
+    """
+    points = []
+    for nodes, flows, seed in _WARM_SIZES:
+        analyses = _sweep_analyses(nodes, flows, seed)
+
+        with obs.using_registry() as reg:
+            cold_out = _solve_sweep(analyses, "simplex")
+        cold_pivots = reg.snapshot()["counters"]["lp.simplex.pivots"]
+
+        warm = WarmLPCache()
+        with obs.using_registry() as reg:
+            warm_out = _solve_sweep(analyses, warm.solver)
+        snap = reg.snapshot()["counters"]
+        warm_pivots = snap["lp.simplex.pivots"]
+
+        assert warm_out == cold_out, "warm start changed the allocations"
+
+        cold_s = warm_s = float("inf")
+        for _ in range(3):
+            gc.collect()
+            t0 = time.perf_counter()
+            _solve_sweep(analyses, "simplex")
+            cold_s = min(cold_s, time.perf_counter() - t0)
+            gc.collect()
+            warm_timed = WarmLPCache()
+            t0 = time.perf_counter()
+            _solve_sweep(analyses, warm_timed.solver)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+
+        points.append({
+            "nodes": nodes,
+            "flows": flows,
+            "seed": seed,
+            "lps_solved": len(_CAPACITY_SWEEP),
+            "cold_ms": cold_s * 1e3,
+            "warm_ms": warm_s * 1e3,
+            "cold_pivots": cold_pivots,
+            "warm_pivots": warm_pivots,
+            "pivot_reduction": cold_pivots / max(warm_pivots, 1),
+            "warm_hits": snap.get("perf.lp.warm.hits", 0),
+            "warm_extends": snap.get("perf.lp.warm.extends", 0),
+            "warm_fallbacks": snap.get("perf.lp.warm.fallbacks", 0),
+        })
+
+    perf_section("warm_lp", {
+        "family": ("capacity sweep x{} over one contention structure "
+                   "(identical LP structure, perturbed rhs)"
+                   .format(len(_CAPACITY_SWEEP))),
+        "points": points,
+        "headline_pivot_reduction": points[-1]["pivot_reduction"],
+    })

@@ -7,6 +7,9 @@ reproduction report.  Simulation benches run one round (they simulate
 tens of seconds of channel time); analytic benches run normally.
 """
 
+import json
+import os
+
 import pytest
 
 
@@ -19,3 +22,78 @@ def once(benchmark):
                                   rounds=1, iterations=1)
 
     return runner
+
+
+def _perf_json_path() -> str:
+    return os.environ.get(
+        "BENCH_PERF_OUT",
+        os.path.join(os.path.dirname(__file__), "BENCH_perf.json"),
+    )
+
+
+def _walk_regressions(old, new, path, problems):
+    """Collect >2x timer regressions / halved speedups between snapshots.
+
+    Keys ending in ``_ms`` are wall times (new must stay within 2x of the
+    checked-in value); keys containing ``speedup`` or ``reduction`` are
+    ratios (new must stay above half the checked-in value).  Structure
+    mismatches are ignored — a reshaped section simply resets its
+    baseline.
+    """
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in old:
+            if key in new:
+                _walk_regressions(old[key], new[key], f"{path}.{key}",
+                                  problems)
+    elif isinstance(old, list) and isinstance(new, list):
+        for i, (o, n) in enumerate(zip(old, new)):
+            _walk_regressions(o, n, f"{path}[{i}]", problems)
+    elif isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        name = path.rsplit(".", 1)[-1]
+        if name.endswith("_ms") and new > 2.0 * old + 1e-9:
+            problems.append(
+                f"{path}: {new:.3f}ms vs baseline {old:.3f}ms (>2x)"
+            )
+        elif (("speedup" in name or "reduction" in name)
+              and new < 0.5 * old):
+            problems.append(
+                f"{path}: {new:.2f} vs baseline {old:.2f} (<0.5x)"
+            )
+
+
+@pytest.fixture
+def perf_section():
+    """Merge one measured section into BENCH_perf.json, gating regressions.
+
+    ``perf_section(name, payload)`` read-modify-writes the ``name`` entry
+    of the shared artifact (path override: ``BENCH_PERF_OUT``), then fails
+    if any ``*_ms`` timer regressed past 2x — or any speedup halved —
+    against the checked-in values for the same section.  The fresh
+    numbers are written *before* the assertion so a failing run still
+    leaves an inspectable artifact.
+    """
+    from repro import obs
+
+    def merge(name: str, payload: dict) -> None:
+        path = _perf_json_path()
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+        doc.setdefault("bench", "perf-baseline")
+        sections = doc.setdefault("sections", {})
+        old = sections.get(name)
+        sections[name] = payload
+        obs.atomic_write_text(
+            path, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        if old is not None:
+            problems = []
+            _walk_regressions(old, payload, name, problems)
+            assert not problems, (
+                "perf regression vs checked-in BENCH_perf.json:\n  "
+                + "\n  ".join(problems)
+            )
+
+    return merge

@@ -124,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write shrunk failure reproducers (JSON) to DIR")
     p.add_argument("--with-scipy", action="store_true",
                    help="also cross-check LPs against scipy (slower)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the case sweep (0 = all "
+                        "cores, default 1); the report is bit-identical "
+                        "to a serial run")
     _add_obs_flags(p)
 
     p = sub.add_parser("show", help="render a scenario and its analysis")
@@ -283,6 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 inject_fault=args.inject_fault,
                 reproducer_dir=args.reproducer_dir,
                 with_scipy=args.with_scipy,
+                jobs=args.jobs,
             )
             reports.append(report)
             return report.render(), "random-fuzz", report.to_dict()

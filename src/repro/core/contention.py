@@ -146,9 +146,20 @@ class ContentionAnalysis:
     subflow-count coefficients ``n_{i,k}`` (how many subflows of flow ``i``
     sit in clique ``k``), and the contending flow groups — everything the
     phase-1 LPs need.
+
+    ``graph`` and ``cliques`` may be supplied precomputed (e.g. by
+    :class:`repro.perf.incremental.IncrementalContention`, which maintains
+    both across flow churn); when given they must describe exactly the
+    scenario's flows — the constructor then skips the corresponding
+    rebuild phases.
     """
 
-    def __init__(self, scenario: Scenario, graph: Graph = None) -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        graph: Graph = None,
+        cliques: List[FrozenSet[SubflowId]] = None,
+    ) -> None:
         self.scenario = scenario
         if graph is not None:
             self.graph = graph
@@ -157,10 +168,12 @@ class ContentionAnalysis:
                 self.graph = subflow_contention_graph(
                     scenario.network, scenario.flows
                 )
-        with phase_timer("contention.clique_enumeration"):
-            self.cliques: List[FrozenSet[SubflowId]] = maximal_cliques(
-                self.graph
-            )
+        if cliques is not None:
+            self.cliques: List[FrozenSet[SubflowId]] = list(cliques)
+            incr("perf.contention.precomputed_cliques")
+        else:
+            with phase_timer("contention.clique_enumeration"):
+                self.cliques = maximal_cliques(self.graph)
         with phase_timer("contention.flow_grouping"):
             self.groups = flow_groups_from_graph(self.graph, scenario.flows)
         incr("contention.analyses")

@@ -77,10 +77,20 @@ class LocalProblem:
 class DistributedAllocator:
     """Runs the full distributed phase-1 protocol on a scenario."""
 
-    def __init__(self, scenario: Scenario, backend: str = "simplex") -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        backend: str = "simplex",
+        analysis: ContentionAnalysis = None,
+    ) -> None:
         self.scenario = scenario
         self.backend = backend
-        self.analysis = ContentionAnalysis(scenario)
+        # A precomputed analysis (e.g. maintained incrementally across
+        # flow churn by repro.perf.incremental.IncrementalContention, or
+        # shared via repro.perf.cache) skips the O(S^2) rebuild; it must
+        # describe exactly this scenario.
+        self.analysis = (analysis if analysis is not None
+                         else ContentionAnalysis(scenario))
         self.views: Dict[NodeId, LocalView] = {}
         self.problems: Dict[NodeId, LocalProblem] = {}
         self._shares: Dict[str, float] = {}
@@ -354,7 +364,9 @@ class DistributedAllocator:
 
 
 def run_distributed(
-    scenario: Scenario, backend: str = "simplex"
+    scenario: Scenario,
+    backend: str = "simplex",
+    analysis: ContentionAnalysis = None,
 ) -> AllocationResult:
     """One-shot convenience wrapper (2PA-D phase 1)."""
-    return DistributedAllocator(scenario, backend).run()
+    return DistributedAllocator(scenario, backend, analysis=analysis).run()

@@ -212,36 +212,52 @@ def virtual_length_ablation(
     return result
 
 
+def _scaling_point(params: Dict[str, int]) -> SweepPoint:
+    """One size of the scaling study; pure in its (seeded) parameters.
+
+    Module-level so :func:`scaling_study` can fan sizes across worker
+    processes — the per-size result depends only on ``params``.
+    """
+    scenario = make_random_scenario(
+        num_nodes=params["size"], num_flows=params["flows"],
+        seed=params["seed"], max_hops=5,
+    )
+    analysis = ContentionAnalysis(scenario)
+    central = basic_fairness_lp_allocation(analysis)
+    dist = run_distributed(scenario, analysis=analysis)
+    return SweepPoint(float(params["size"]), {
+        "centralized_total": central.total_effective_throughput,
+        "distributed_total": dist.total_effective_throughput,
+        "centralized_basic_ok": float(
+            satisfies_basic_fairness(
+                central.shares, scenario.flows, tol=1e-7
+            )
+        ),
+        "num_cliques": float(len(analysis.cliques)),
+    })
+
+
 def scaling_study(
     sizes: Sequence[int] = (10, 15, 20, 25),
     flows_per_net: int = 4,
     seed: int = 7,
+    jobs: int = 1,
 ) -> SweepResult:
     """Centralized vs distributed totals on random topologies.
 
     Also checks that both satisfy basic fairness (recorded as 1.0/0.0).
+    Sizes are independent seeded tasks, so ``jobs > 1`` computes them in
+    worker processes with a bit-identical result (``jobs=0``: all cores).
     """
+    from ..perf.parallel import ParallelSweep
+
+    tasks = [
+        {"size": size, "flows": flows_per_net, "seed": seed}
+        for size in sizes
+    ]
+    points = ParallelSweep(jobs).map(_scaling_point, tasks)
     result = SweepResult("Random-topology scaling", "nodes")
-    for size in sizes:
-        scenario = make_random_scenario(
-            num_nodes=size, num_flows=flows_per_net, seed=seed,
-            max_hops=5,
-        )
-        analysis = ContentionAnalysis(scenario)
-        central = basic_fairness_lp_allocation(analysis)
-        dist = run_distributed(scenario)
-        result.points.append(
-            SweepPoint(float(size), {
-                "centralized_total": central.total_effective_throughput,
-                "distributed_total": dist.total_effective_throughput,
-                "centralized_basic_ok": float(
-                    satisfies_basic_fairness(
-                        central.shares, scenario.flows, tol=1e-7
-                    )
-                ),
-                "num_cliques": float(len(analysis.cliques)),
-            })
-        )
+    result.points.extend(points)
     return result
 
 

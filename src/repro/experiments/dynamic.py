@@ -24,6 +24,9 @@ from ..core.contention import ContentionAnalysis
 from ..core.model import Flow, Scenario, SubflowId
 from ..mac import MacTimings
 from ..mac.policies import FairBackoffPolicy
+from ..obs.registry import incr
+from ..perf.incremental import IncrementalContention
+from ..perf.warm import WarmLPCache
 from ..sched.runner import SimulationRun, TrafficConfig
 from ..traffic.cbr import US
 
@@ -67,6 +70,9 @@ class DynamicAllocationExperiment:
         alpha: float = 0.001,
         timings: Optional[MacTimings] = None,
         traffic: Optional[TrafficConfig] = None,
+        incremental: bool = True,
+        warm_lp: bool = True,
+        memo_allocations: bool = True,
     ) -> None:
         by_id = {s.flow_id: s for s in schedules}
         missing = set(scenario.flow_ids) - set(by_id)
@@ -75,6 +81,22 @@ class DynamicAllocationExperiment:
         self.scenario = scenario
         self.schedules = by_id
         self.alpha = alpha
+        # Re-allocation fast path: contention structure is maintained
+        # incrementally across membership changes and LP re-solves are
+        # warm-started from the previous basis.  Both paths produce
+        # bit-identical allocations to the cold rebuild (asserted in
+        # tests/test_perf_incremental.py), so they default on; the flags
+        # exist for A/B benchmarking and belt-and-braces fallback.
+        self._contention = (
+            IncrementalContention(scenario) if incremental else None
+        )
+        self._warm_lp = WarmLPCache() if warm_lp else None
+        # Arrival/departure timelines revisit active sets (a flow leaves
+        # and the set returns to its previous state); the allocation for
+        # a given active set is deterministic, so it is memoized outright.
+        self._alloc_memo: Optional[Dict[frozenset, Dict[str, float]]] = (
+            {} if memo_allocations else None
+        )
 
         # All queues exist up front; shares start from the full-set
         # allocation and are re-pushed at every membership change.
@@ -102,14 +124,27 @@ class DynamicAllocationExperiment:
                   if f.flow_id in set(active_ids)]
         if not active:
             return {}
-        sub_scenario = Scenario(
-            self.scenario.network, active,
-            name=f"{self.scenario.name}-active",
-            capacity=self.scenario.capacity,
-        )
-        result = basic_fairness_lp_allocation(
-            ContentionAnalysis(sub_scenario)
-        )
+        memo_key = frozenset(f.flow_id for f in active)
+        if self._alloc_memo is not None and memo_key in self._alloc_memo:
+            incr("perf.dynamic.memo_hits")
+            return dict(self._alloc_memo[memo_key])
+        if self._contention is not None:
+            analysis = self._contention.analysis_for(
+                [f.flow_id for f in active],
+                name=f"{self.scenario.name}-active",
+            )
+        else:
+            sub_scenario = Scenario(
+                self.scenario.network, active,
+                name=f"{self.scenario.name}-active",
+                capacity=self.scenario.capacity,
+            )
+            analysis = ContentionAnalysis(sub_scenario)
+        backend = (self._warm_lp.solver if self._warm_lp is not None
+                   else "simplex")
+        result = basic_fairness_lp_allocation(analysis, backend=backend)
+        if self._alloc_memo is not None:
+            self._alloc_memo[memo_key] = dict(result.shares)
         return dict(result.shares)
 
     def _push_allocation(self, allocated: Dict[str, float]) -> None:

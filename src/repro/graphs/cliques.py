@@ -9,21 +9,75 @@ more than fast enough and is implemented here from scratch.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from .graph import Graph, Vertex
+
+#: Vertex count below which the plain set-based kernel is used directly;
+#: tiny graphs do not amortize the bitset adjacency build.
+_BITSET_MIN_VERTICES = 8
+
+
+def clique_vertex_order(graph: Graph) -> List[Vertex]:
+    """The canonical vertex order used for clique indexing and sorting.
+
+    Vertices are ranked once by ``repr`` (stable across interpreter runs
+    and insertion orders); all clique-level ordering then works on integer
+    indices into this list rather than re-deriving string keys per
+    comparison.
+    """
+    return sorted(graph.vertices(), key=repr)
+
+
+def sort_cliques(
+    cliques: Iterable[FrozenSet[Vertex]],
+    rank: Dict[Vertex, int],
+) -> List[FrozenSet[Vertex]]:
+    """Canonical clique order: size descending, then member index order.
+
+    ``rank`` maps each vertex to its position in
+    :func:`clique_vertex_order`; every clique producer (set-based kernel,
+    bitset kernel, brute-force oracle, incremental merge) sorts through
+    this single helper so orderings always compare equal.
+    """
+    return sorted(
+        cliques,
+        key=lambda c: (-len(c), sorted(rank[v] for v in c)),
+    )
 
 
 def maximal_cliques(graph: Graph) -> List[FrozenSet[Vertex]]:
     """Enumerate all maximal cliques via Bron–Kerbosch with pivoting.
 
-    Returns a list of frozensets, sorted deterministically (by size
-    descending, then by the sorted representation of members) so that LP
+    Returns a list of frozensets in the canonical deterministic order
+    (size descending, then member vertex-index order) so that LP
     constraint ordering is reproducible run to run.
+
+    Dispatches to the bitset kernel of :mod:`repro.perf.cliques` for
+    graphs of :data:`_BITSET_MIN_VERTICES` or more vertices; the set-based
+    reference implementation (:func:`maximal_cliques_set`) handles tiny
+    graphs and serves as the differential oracle for the kernel.  Both
+    produce bit-identical output.
+    """
+    if graph.num_vertices() >= _BITSET_MIN_VERTICES:
+        from ..perf.cliques import maximal_cliques_bitset
+
+        return maximal_cliques_bitset(graph)
+    return maximal_cliques_set(graph)
+
+
+def maximal_cliques_set(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """Set-based Bron–Kerbosch reference implementation.
+
+    Kept as an independent implementation of the clique kernel: the
+    differential tests require ``maximal_cliques_set(g) ==
+    maximal_cliques_bitset(g)`` on arbitrary graphs.
     """
     if graph.num_vertices() == 0:
         return []
 
+    order = clique_vertex_order(graph)
+    rank = {v: i for i, v in enumerate(order)}
     adj: Dict[Vertex, Set[Vertex]] = {v: graph.neighbors(v) for v in graph}
     cliques: List[FrozenSet[Vertex]] = []
 
@@ -31,15 +85,16 @@ def maximal_cliques(graph: Graph) -> List[FrozenSet[Vertex]]:
         if not p and not x:
             cliques.append(frozenset(r))
             return
-        # Choose the pivot with the most neighbors in P to prune branches.
-        pivot = max(p | x, key=lambda u: len(adj[u] & p))
-        for v in list(p - adj[pivot]):
+        # Pivot: most neighbors in P; ties broken by the stable vertex
+        # index so the recursion tree never depends on set iteration order.
+        pivot = max(p | x, key=lambda u: (len(adj[u] & p), -rank[u]))
+        for v in sorted(p - adj[pivot], key=rank.__getitem__):
             expand(r | {v}, p & adj[v], x & adj[v])
             p.discard(v)
             x.add(v)
 
     expand(set(), set(adj), set())
-    return sorted(cliques, key=lambda c: (-len(c), sorted(map(repr, c))))
+    return sort_cliques(cliques, rank)
 
 
 def weighted_clique_size(

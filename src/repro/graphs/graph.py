@@ -134,15 +134,17 @@ class Graph:
     # Derived graphs
     # ------------------------------------------------------------------
     def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
-        """The subgraph induced by ``keep`` (attributes are copied)."""
+        """The subgraph induced by ``keep`` (attributes are copied).
+
+        Vertices keep their insertion order; adjacency is built by set
+        intersection rather than re-adding edges one by one.
+        """
         keep_set = set(keep)
         g = Graph()
         for v in self._adj:
             if v in keep_set:
-                g.add_vertex(v, **self._attrs[v])
-        for u, v in self.edges():
-            if u in keep_set and v in keep_set:
-                g.add_edge(u, v)
+                g._adj[v] = self._adj[v] & keep_set
+                g._attrs[v] = dict(self._attrs[v])
         return g
 
     def complement(self) -> "Graph":

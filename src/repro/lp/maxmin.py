@@ -18,7 +18,6 @@ step 1/2) — used for comparison strategies and property tests.
 
 from __future__ import annotations
 
-import copy
 from typing import Dict, List, Mapping, Optional
 
 from .problem import LinearProgram, LPSolution
@@ -52,7 +51,7 @@ def lexicographic_maxmin(
         if wv <= 0:
             raise ValueError(f"weight for {v!r} must be positive, got {wv}")
 
-    work = copy.deepcopy(lp)
+    work = lp.clone()
     if fix_objective and lp.objective:
         # objective >= T*  encoded as  -objective <= -T*.
         work.add_constraint(
@@ -72,13 +71,26 @@ def lexicographic_maxmin(
             for v in remaining:
                 frozen[v] = values.get(v, frozen.get(v, 0.0))
             break
-        newly = _saturated(work, remaining, w, frozen, level, backend)
+        newly = _saturated(work, remaining, w, frozen, level, backend,
+                           hint=values)
         for v in newly:
             frozen[v] = level * w[v]
         remaining = [v for v in remaining if v not in newly]
 
     solution = dict(frozen)
     return LPSolution("optimal", solution, lp.objective_value(solution))
+
+
+def _fix_value(lp: LinearProgram, v: str, val: float) -> None:
+    """Pin ``x_v == val``: a lower *bound* plus one upper constraint.
+
+    The bound (rather than a ``-x <= -val`` row) keeps the standard-form
+    rhs non-negative after the solver shifts bounds out, so pinning
+    frozen variables never introduces artificial variables — probe LPs
+    start from the feasible slack basis and skip simplex phase 1.
+    """
+    lp.set_lower_bound(v, max(val - _TOL, 0.0))
+    lp.add_constraint({v: 1.0}, val + _TOL, label=f"fix-hi:{v}")
 
 
 def _raise_floor(
@@ -89,7 +101,7 @@ def _raise_floor(
     backend: str,
 ):
     """Maximize t s.t. x_v >= t*w_v for free v, x_v == frozen_v otherwise."""
-    aux = copy.deepcopy(lp)
+    aux = lp.clone()
     t = "__maxmin_t__"
     aux.objective = {t: 1.0}
     aux._order = [v for v in aux._order] + ([t] if t not in aux._order else [])
@@ -97,8 +109,7 @@ def _raise_floor(
         # t*w_v - x_v <= 0
         aux.add_constraint({t: w[v], v: -1.0}, 0.0, label=f"floor:{v}")
     for v, val in frozen.items():
-        aux.add_constraint({v: 1.0}, val + _TOL, label=f"fix-hi:{v}")
-        aux.add_constraint({v: -1.0}, -val + _TOL, label=f"fix-lo:{v}")
+        _fix_value(aux, v, val)
     sol = solve(aux, backend)
     if not sol.is_optimal:
         return None, {}
@@ -112,17 +123,30 @@ def _saturated(
     frozen: Mapping[str, float],
     level: float,
     backend: str,
+    hint: Optional[Mapping[str, float]] = None,
 ) -> List[str]:
-    """Free variables that cannot exceed ``level * w`` with the floor held."""
+    """Free variables that cannot exceed ``level * w`` with the floor held.
+
+    ``hint`` is any feasible point of the probe region (the floor-raise
+    solution): a variable it already places strictly above its floor is
+    witnessed unsaturated, so its probe LP is skipped.  The witness margin
+    is 10x the probe tolerance, so skipping never disagrees with what the
+    probe (a maximization, whose optimum dominates the witness) would
+    conclude.
+    """
+    # All probes this round share one constraint system; only the
+    # objective changes between solves.
+    aux = lp.clone()
+    for v in free:
+        aux.set_lower_bound(v, max(level * w[v] - _TOL, 0.0))
+    for v, val in frozen.items():
+        _fix_value(aux, v, val)
     stuck: List[str] = []
     for target in free:
-        aux = copy.deepcopy(lp)
+        if (hint is not None
+                and hint.get(target, 0.0) > level * w[target] + 1e-6):
+            continue
         aux.objective = {target: 1.0}
-        for v in free:
-            aux.set_lower_bound(v, max(level * w[v] - _TOL, 0.0))
-        for v, val in frozen.items():
-            aux.add_constraint({v: 1.0}, val + _TOL, label=f"fix-hi:{v}")
-            aux.add_constraint({v: -1.0}, -val + _TOL, label=f"fix-lo:{v}")
         sol = solve(aux, backend)
         if not sol.is_optimal or sol.values.get(target, 0.0) <= level * w[target] + 1e-7:
             stuck.append(target)

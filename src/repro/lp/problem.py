@@ -102,6 +102,20 @@ class LinearProgram:
         if name in self.objective and name not in self._order:
             self._order.append(name)
 
+    def clone(self) -> "LinearProgram":
+        """Structural copy for derived problems (cheap, not a deepcopy).
+
+        The immutable :class:`Constraint` objects are shared; the mutable
+        containers are copied, so adding constraints, bounds, or objective
+        terms to the clone never touches the original.
+        """
+        return LinearProgram(
+            _order=list(self._order),
+            objective=dict(self.objective),
+            constraints=list(self.constraints),
+            lower_bounds=dict(self.lower_bounds),
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -176,11 +190,19 @@ class LinearProgram:
 
 @dataclass(frozen=True)
 class LPSolution:
-    """Result of an LP solve."""
+    """Result of an LP solve.
+
+    ``basis`` (when the solver provides one) describes the final simplex
+    basis in a solver-defined, structure-stable encoding; feeding it back
+    into :func:`repro.lp.simplex.solve_simplex` warm-starts the next solve
+    of a structurally identical problem.  Backends without basis support
+    leave it ``None``.
+    """
 
     status: str                      # "optimal" | "infeasible" | "unbounded"
     values: Dict[str, float]
     objective: float
+    basis: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @property
     def is_optimal(self) -> bool:

@@ -16,11 +16,25 @@ right-hand sides after the shift (possible when basic shares exceed slack)
 are handled by a phase-1 auxiliary problem with artificial variables.
 Bland's anti-cycling rule governs pivot selection, which also makes the
 returned vertex deterministic.
+
+**Warm starts.**  Every optimal solve returns its final basis as a tuple
+of structure-stable column labels (``("v", j)`` for structural columns,
+``("s", i)`` / ``("g", i)`` for the slack / surplus of constraint row
+``i``); :func:`solve_simplex` accepts such a basis as ``start_basis`` and,
+when it maps cleanly onto the new problem and yields a feasible point,
+skips phase 1 entirely and runs phase 2 from there.  Successive LPs with
+identical structure but perturbed bounds/rows — the dynamic experiment's
+per-churn-event re-solves — then finish in a handful of pivots.  Any
+mapping failure (shape change, flipped row sense, singular or infeasible
+basis) falls back to the cold two-phase path, so a warm start never
+changes the *status* of a solve.  The pivot inner loops (reduced costs,
+ratio test, row elimination) are vectorized over numpy arrays and remain
+bit-identical to the scalar reference loops they replaced.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -29,38 +43,53 @@ from .problem import LinearProgram, LPSolution
 
 _EPS = 1e-9
 
+#: Structure-stable basis encoding: one ``(kind, index)`` label per row.
+Basis = Tuple[Tuple[str, int], ...]
 
-def solve_simplex(lp: LinearProgram) -> LPSolution:
+
+def solve_simplex(
+    lp: LinearProgram, start_basis: Optional[Basis] = None
+) -> LPSolution:
     """Solve ``lp`` with the two-phase simplex method.
 
     Returns an :class:`LPSolution` whose ``status`` is one of ``optimal``,
-    ``infeasible`` or ``unbounded``.
+    ``infeasible`` or ``unbounded``; optimal solutions carry the final
+    simplex basis for warm-starting a later, structurally identical solve
+    (pass it back as ``start_basis``).
     """
     names = lp.variables
     if not names:
-        return LPSolution("optimal", {}, 0.0)
+        return LPSolution("optimal", {}, 0.0, basis=())
     with phase_timer("lp.simplex.solve"):
         c, a, b, lb = lp.to_dense()
 
         # Shift out the lower bounds: x = y + lb with y >= 0.
         b_shift = b - a @ lb
-        status, y, _, pivots = _simplex_leq(c, a, b_shift)
+        status, y, _, pivots, basis = _simplex_leq(
+            c, a, b_shift, start_basis
+        )
     incr("lp.simplex.solves")
     incr("lp.simplex.pivots", pivots)
     if status != "optimal":
         return LPSolution(status, {}, float("nan"))
     x = y + lb
     values = {v: float(x[j]) for j, v in enumerate(names)}
-    return LPSolution("optimal", values, lp.objective_value(values))
+    return LPSolution(
+        "optimal", values, lp.objective_value(values), basis=basis
+    )
 
 
 def _simplex_leq(
-    c: np.ndarray, a: np.ndarray, b: np.ndarray
-) -> Tuple[str, Optional[np.ndarray], float, int]:
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    start_basis: Optional[Basis] = None,
+) -> Tuple[str, Optional[np.ndarray], float, int, Optional[Basis]]:
     """Maximize ``c'y`` s.t. ``A y <= b``, ``y >= 0`` (b may be negative).
 
-    Returns ``(status, y, objective, pivots)``; ``pivots`` totals the
-    phase-1 and phase-2 simplex iterations for profiling.
+    Returns ``(status, y, objective, pivots, basis)``; ``pivots`` totals
+    the phase-1 and phase-2 simplex iterations for profiling and ``basis``
+    is the final basis encoded as structure-stable labels (optimal only).
     """
     pivots = 0
     m, n = a.shape
@@ -68,8 +97,8 @@ def _simplex_leq(
         # No constraints: optimum is 0 at origin unless some c_j > 0, in
         # which case the problem is unbounded.
         if np.any(c > _EPS):
-            return "unbounded", None, float("inf"), pivots
-        return "optimal", np.zeros(n), 0.0, pivots
+            return "unbounded", None, float("inf"), pivots, None
+        return "optimal", np.zeros(n), 0.0, pivots, ()
 
     # Convert rows with negative rhs to >= rows by negation, then build the
     # tableau with slack variables for <= rows and surplus + artificial
@@ -91,6 +120,10 @@ def _simplex_leq(
     rhs = b.copy()
     basis = np.empty(m, dtype=int)
 
+    #: Structure-stable label per column; artificials are never exported.
+    col_label: List[Tuple[str, int]] = [("v", j) for j in range(n)]
+    col_label += [("?", k) for k in range(total - n)]
+
     slack_j = n
     surplus_j = n + num_slack
     art_j = n + num_slack + num_surplus
@@ -99,16 +132,48 @@ def _simplex_leq(
         if ge_rows[i]:
             tableau[i, surplus_j] = -1.0
             tableau[i, art_j] = 1.0
+            col_label[surplus_j] = ("g", i)
+            col_label[art_j] = ("a", i)
             basis[i] = art_j
             art_cols.append(art_j)
             surplus_j += 1
             art_j += 1
         else:
             tableau[i, slack_j] = 1.0
+            col_label[slack_j] = ("s", i)
             basis[i] = slack_j
             slack_j += 1
 
-    if art_cols:
+    art_start = n + num_slack + num_surplus
+
+    # One-time dust sweep of the freshly built system; _pivot then only
+    # sweeps the rows it modifies, which stays equivalent to sweeping the
+    # whole tableau after every pivot.
+    tableau[np.abs(tableau) < 1e-12] = 0.0
+    rhs[np.abs(rhs) < 1e-12] = 0.0
+
+    # Pristine copy of the augmented system: the final solution is
+    # recomputed from it so the reported values depend only on the final
+    # basis, not on the pivot path taken to reach it (a warm start and a
+    # cold solve that land on the same basis report bitwise-equal
+    # values).
+    a0 = tableau.copy()
+    b0 = rhs.copy()
+
+    warm_ok = False
+    if start_basis is not None:
+        incr("perf.lp.warm.attempts")
+        installed = _install_basis(
+            a0, b0, col_label, start_basis, art_start
+        )
+        if installed is not None:
+            tableau, rhs, basis = installed
+            warm_ok = True
+            incr("perf.lp.warm.installed")
+        else:
+            incr("perf.lp.warm.fallbacks")
+
+    if not warm_ok and art_cols:
         # Phase 1: minimize sum of artificials == maximize -sum.
         obj1 = np.zeros(total)
         for j in art_cols:
@@ -116,36 +181,87 @@ def _simplex_leq(
         status, iters = _run_simplex(tableau, rhs, obj1, basis)
         pivots += iters
         if status == "unbounded":  # pragma: no cover - cannot happen
-            return "infeasible", None, float("nan"), pivots
-        art_value = -sum(
-            rhs[i] for i in range(m) if basis[i] in set(art_cols)
-        )
+            return "infeasible", None, float("nan"), pivots, None
         phase1_obj = sum(
-            rhs[i] for i in range(m) if basis[i] >= n + num_slack + num_surplus
+            rhs[i] for i in range(m) if basis[i] >= art_start
         )
         if phase1_obj > 1e-7:
-            return "infeasible", None, float("nan"), pivots
-        _drive_out_artificials(tableau, rhs, basis, n + num_slack + num_surplus)
+            return "infeasible", None, float("nan"), pivots, None
+        _drive_out_artificials(tableau, rhs, basis, art_start)
 
-    # Phase 2: original objective, artificial columns frozen at zero.
+    # Phase 2: original objective, artificial columns frozen at zero
+    # (masked out of pivot selection so they can never re-enter).
     obj2 = np.zeros(total)
     obj2[:n] = c
-    if art_cols:
-        # Forbid artificials from re-entering by pricing them at -inf
-        # (implemented by masking their columns out of pivot selection).
-        art_start = n + num_slack + num_surplus
-    else:
-        art_start = total
+    limit = art_start if art_cols else total
     status, iters = _run_simplex(tableau, rhs, obj2, basis,
-                                 forbidden_from=art_start)
+                                 forbidden_from=limit)
     pivots += iters
     if status == "unbounded":
-        return "unbounded", None, float("inf"), pivots
+        return "unbounded", None, float("inf"), pivots, None
 
     y = np.zeros(total)
-    for i in range(m):
-        y[basis[i]] = rhs[i]
-    return "optimal", y[:n], float(obj2 @ y), pivots
+    basis_matrix = a0[:, basis]
+    try:
+        y_basic = np.linalg.solve(basis_matrix, b0)
+    except np.linalg.LinAlgError:  # pragma: no cover - defensive
+        y_basic = rhs.copy()
+    y_basic[np.abs(y_basic) < 1e-12] = 0.0
+    y[basis] = y_basic
+    final: Basis = tuple(col_label[j] for j in basis)
+    return "optimal", y[:n], float(obj2 @ y), pivots, final
+
+
+def _install_basis(
+    a0: np.ndarray,
+    b0: np.ndarray,
+    col_label: List[Tuple[str, int]],
+    start_basis: Basis,
+    art_start: int,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Build the tableau state for ``start_basis``; None on failure.
+
+    The basis must have one label per row, every label must resolve to a
+    non-artificial column of the current layout, the basis matrix must be
+    nonsingular, and the induced basic point must be feasible
+    (``rhs >= 0``).  The whole state is produced by one factorized solve
+    against the pristine system (``B^-1 [A | b]``) instead of a pivot
+    sequence — much cheaper than the phase-1/phase-2 pivots it replaces.
+    """
+    m = a0.shape[0]
+    if len(start_basis) != m:
+        return None
+    index = {label: j for j, label in enumerate(col_label)}
+    cols = []
+    for label in start_basis:
+        j = index.get(tuple(label))
+        if j is None or j >= art_start:
+            return None
+        cols.append(j)
+    if len(set(cols)) != m:
+        return None
+    basis_matrix = a0[:, cols]
+    try:
+        solved = np.linalg.solve(
+            basis_matrix, np.column_stack([a0, b0])
+        )
+    except np.linalg.LinAlgError:
+        return None
+    tableau = solved[:, :-1]
+    rhs = solved[:, -1]
+    if not np.all(np.isfinite(rhs)) or np.any(rhs < -1e-7):
+        return None
+    # Reject ill-conditioned bases: the basis columns of B^-1 A must
+    # reduce to the identity or later sign tests cannot be trusted.
+    eye = np.eye(m)
+    if np.abs(tableau[:, cols] - eye).max() > 1e-7:
+        return None
+    tableau[:, cols] = eye
+    # Tiny negative dust from the reduction would poison the ratio test.
+    rhs[rhs < 0.0] = 0.0
+    tableau[np.abs(tableau) < 1e-12] = 0.0
+    rhs[np.abs(rhs) < 1e-12] = 0.0
+    return tableau, rhs, np.asarray(cols, dtype=int)
 
 
 def _run_simplex(
@@ -162,6 +278,10 @@ def _run_simplex(
     maximization objective over all columns, ``basis`` the current basic
     column per row.  Bland's rule (smallest eligible index) prevents
     cycling.  Columns with index >= ``forbidden_from`` never enter.
+
+    The entering-column scan and ratio test are vectorized; the tie-break
+    semantics (Bland's rule within an ``_EPS`` band of the best ratio)
+    exactly mirror the scalar reference loop.
     """
     m, total = tableau.shape
     limit = forbidden_from if forbidden_from is not None else total
@@ -173,29 +293,28 @@ def _run_simplex(
         reduced = obj - cb @ tableau
         reduced[basis] = 0.0
 
-        entering = -1
-        for j in range(limit):
-            if reduced[j] > _EPS:
-                entering = j
-                break
-        if entering < 0:
+        eligible = np.flatnonzero(reduced[:limit] > _EPS)
+        if eligible.size == 0:
             return "optimal", iteration
+        entering = int(eligible[0])
 
         # Ratio test with Bland's rule on ties (smallest basis index).
+        column = tableau[:, entering]
+        candidates = np.flatnonzero(column > _EPS)
+        if candidates.size == 0:
+            return "unbounded", iteration
+        ratios = rhs[candidates] / column[candidates]
         best_ratio = np.inf
         leaving = -1
-        for i in range(m):
-            coeff = tableau[i, entering]
-            if coeff > _EPS:
-                ratio = rhs[i] / coeff
-                if ratio < best_ratio - _EPS or (
-                    abs(ratio - best_ratio) <= _EPS
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
-        if leaving < 0:
-            return "unbounded", iteration
+        for k in range(candidates.size):
+            i = int(candidates[k])
+            ratio = ratios[k]
+            if ratio < best_ratio - _EPS or (
+                abs(ratio - best_ratio) <= _EPS
+                and (leaving < 0 or basis[i] < basis[leaving])
+            ):
+                best_ratio = ratio
+                leaving = i
 
         _pivot(tableau, rhs, leaving, entering)
         basis[leaving] = entering
@@ -203,18 +322,33 @@ def _run_simplex(
 
 
 def _pivot(tableau: np.ndarray, rhs: np.ndarray, row: int, col: int) -> None:
-    """Gauss-Jordan pivot on (row, col), in place."""
+    """Gauss-Jordan pivot on (row, col), in place (vectorized rank-1).
+
+    Numerical dust (|x| < 1e-12) is swept to exact zero, but only on the
+    rows this pivot modified: untouched rows were swept when they were
+    last written (or are pristine build output, swept once up front in
+    ``_simplex_leq``), so the result is identical to a full-tableau sweep
+    at a fraction of the cost.
+    """
     piv = tableau[row, col]
-    tableau[row] /= piv
+    prow = tableau[row]
+    prow /= piv
     rhs[row] /= piv
-    for i in range(tableau.shape[0]):
-        if i != row and abs(tableau[i, col]) > _EPS:
-            factor = tableau[i, col]
-            tableau[i] -= factor * tableau[row]
-            rhs[i] -= factor * rhs[row]
-    # Clean numerical dust so later sign tests stay crisp.
-    tableau[np.abs(tableau) < 1e-12] = 0.0
-    rhs[np.abs(rhs) < 1e-12] = 0.0
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    touched = np.abs(factors) > _EPS
+    if touched.any():
+        block = tableau[touched]
+        block -= factors[touched, None] * prow
+        block[np.abs(block) < 1e-12] = 0.0
+        tableau[touched] = block
+        rvals = rhs[touched]
+        rvals -= factors[touched] * rhs[row]
+        rvals[np.abs(rvals) < 1e-12] = 0.0
+        rhs[touched] = rvals
+    prow[np.abs(prow) < 1e-12] = 0.0
+    if abs(rhs[row]) < 1e-12:
+        rhs[row] = 0.0
 
 
 def _drive_out_artificials(

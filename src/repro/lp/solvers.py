@@ -26,18 +26,31 @@ def register_backend(name: str, backend: Backend) -> None:
     _BACKENDS[name] = backend
 
 
-def solve(lp: LinearProgram, backend: str = "simplex") -> LPSolution:
-    """Solve ``lp`` with the requested backend (default: own simplex)."""
-    try:
-        fn = _BACKENDS[backend]
-    except KeyError:
-        raise ValueError(
-            f"unknown LP backend {backend!r}; available: {sorted(_BACKENDS)}"
-        ) from None
+def solve(lp: LinearProgram, backend="simplex") -> LPSolution:
+    """Solve ``lp`` with the requested backend (default: own simplex).
+
+    ``backend`` is either a registered backend name or a callable
+    ``LinearProgram -> LPSolution`` (e.g. a stateful warm-starting
+    solver from :class:`repro.perf.warm.WarmLPCache`); callables flow
+    through every allocation entry point that takes a ``backend``
+    argument.
+    """
+    if callable(backend):
+        fn = backend
+        label = getattr(backend, "__name__", "custom")
+    else:
+        try:
+            fn = _BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown LP backend {backend!r}; "
+                f"available: {sorted(_BACKENDS)}"
+            ) from None
+        label = backend
     with phase_timer("lp.solve"):
         solution = fn(lp)
     incr("lp.solves")
-    incr(f"lp.solves.{backend}")
+    incr(f"lp.solves.{label}")
     if not solution.is_optimal:
         incr(f"lp.solves.{solution.status}")
     return solution

@@ -230,6 +230,46 @@ class MetricsRegistry:
             },
         }
 
+    def mergeable_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Like :meth:`snapshot`, but lossless: histograms keep their raw
+        values and timers their (calls, wall_s, cpu_s) triples, so the
+        result can be shipped across a process boundary and folded into
+        another registry with :meth:`merge_snapshot`."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: list(h.values) for n, h in sorted(self.histograms.items())
+            },
+            "timers": {
+                n: {"calls": t.calls, "wall_s": t.wall_s, "cpu_s": t.cpu_s}
+                for n, t in sorted(self.timers.items())
+            },
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`mergeable_snapshot` from another registry (e.g. a
+        parallel-sweep worker) into this one: counters and timers add,
+        gauges overwrite, histogram values append.  Histogram entries that
+        are summary dicts (from :meth:`snapshot`) carry no raw values and
+        are skipped rather than fabricated."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, values in snap.get("histograms", {}).items():
+            if isinstance(values, dict):
+                continue
+            h = self.histogram(name)
+            for v in values:
+                h.observe(float(v))
+        for name, t in snap.get("timers", {}).items():
+            self.timer(name).add(
+                wall_s=float(t.get("wall_s", 0.0)),
+                cpu_s=float(t.get("cpu_s", 0.0)),
+                calls=int(t.get("calls", 0)),
+            )
+
     def sample_records(self) -> Iterator[Dict[str, object]]:
         """One flat record per metric, for JSONL streaming."""
         for name, c in sorted(self.counters.items()):

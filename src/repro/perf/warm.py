@@ -1,0 +1,134 @@
+"""Warm-started LP re-solves: basis reuse across structurally equal LPs.
+
+The dynamic experiment re-runs phase 1 at every flow arrival/departure;
+the LPs it generates recur with identical *structure* (same variables,
+same constraint supports) and only perturbed bounds — and the
+lexicographic max-min refinement inside one allocation solves whole
+families of such siblings.  :class:`WarmLPCache` remembers the final
+simplex basis per LP structure and feeds it back into
+:func:`repro.lp.simplex.solve_simplex`, which then skips phase 1 and
+re-optimizes in a handful of pivots.  A warm start that does not map onto
+the new problem falls back to the cold path inside the solver, so the
+cache can never change a solve's status.
+
+Usage: pass ``cache.solver`` anywhere a ``backend`` is accepted::
+
+    cache = WarmLPCache()
+    basic_fairness_lp_allocation(analysis, backend=cache.solver)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from ..lp.problem import LinearProgram, LPSolution
+from ..lp.simplex import Basis, solve_simplex
+from ..obs.registry import incr, phase_timer
+
+__all__ = ["WarmLPCache", "lp_structure_signature"]
+
+
+def lp_structure_signature(lp: LinearProgram) -> Hashable:
+    """A key identifying the LP's structure (not its numbers).
+
+    Two LPs share a signature iff they have the same variables in the
+    same order and constraints with the same supports in the same order —
+    exactly the condition under which a stored basis' column labels mean
+    the same thing in both problems.  Supports are compared in coefficient
+    insertion order (cheap and deterministic for programmatically built
+    LPs); an equal support written in a different order merely misses the
+    cache, which is safe.
+    """
+    return (
+        tuple(lp.variables),
+        tuple(tuple(c.coeffs) for c in lp.constraints),
+    )
+
+
+class WarmLPCache:
+    """Size-bounded LRU of final simplex bases, keyed by LP structure.
+
+    :meth:`solver` is a drop-in LP backend: it looks up a basis for the
+    incoming problem's structure, solves warm when one is known, and
+    stores the final basis for the next structurally identical solve.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = int(max_entries)
+        self._bases: "OrderedDict[Hashable, Basis]" = OrderedDict()
+        # Per variables-tuple: the latest (constraint structure, basis).
+        # Serves extension warm starts for LPs that grow by appending
+        # constraint rows (the lexicographic max-min rounds).
+        self._latest: "OrderedDict[Hashable, Tuple[Hashable, Basis]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._bases)
+
+    def clear(self) -> None:
+        self._bases.clear()
+        self._latest.clear()
+
+    def lookup(self, lp: LinearProgram) -> Optional[Basis]:
+        return self._get(lp_structure_signature(lp))
+
+    def store(self, lp: LinearProgram, basis: Optional[Basis]) -> None:
+        self._put(lp_structure_signature(lp), basis)
+
+    def _get(self, key: Hashable) -> Optional[Basis]:
+        basis = self._bases.get(key)
+        if basis is not None:
+            self._bases.move_to_end(key)
+        return basis
+
+    def _put(self, key: Hashable, basis: Optional[Basis]) -> None:
+        if basis is None:
+            return
+        self._bases[key] = basis
+        self._bases.move_to_end(key)
+        while len(self._bases) > self.max_entries:
+            self._bases.popitem(last=False)
+
+    def solver(self, lp: LinearProgram) -> LPSolution:
+        """Backend callable: warm-started simplex with basis memoization.
+
+        An exact structure hit replays the stored basis.  Failing that,
+        if a basis is known for the same variables and a constraint
+        structure that is a *prefix* of this LP's (the max-min rounds
+        grow their probe LPs by appending rows), the stored basis is
+        extended with the new rows' slack columns — the textbook warm
+        start for an added ``<=`` row.  Either way the solver validates
+        the basis (resolvable labels, nonsingular, feasible) and falls
+        back to a cold solve, so a bad guess can only cost time.
+        """
+        with phase_timer("perf.lp.warm.solve"):
+            vars_sig, cons_sig = lp_structure_signature(lp)
+            key = (vars_sig, cons_sig)
+            start = self._get(key)
+            if start is not None:
+                self.hits += 1
+                incr("perf.lp.warm.hits")
+            else:
+                self.misses += 1
+                incr("perf.lp.warm.misses")
+                latest = self._latest.get(vars_sig)
+                if latest is not None:
+                    prev_cons, prev_basis = latest
+                    k = len(prev_cons)
+                    if k < len(cons_sig) and cons_sig[:k] == prev_cons:
+                        start = prev_basis + tuple(
+                            ("s", i) for i in range(k, len(cons_sig))
+                        )
+                        incr("perf.lp.warm.extends")
+            solution = solve_simplex(lp, start_basis=start)
+        if solution.basis is not None:
+            self._put(key, solution.basis)
+            self._latest[vars_sig] = (cons_sig, solution.basis)
+            self._latest.move_to_end(vars_sig)
+            while len(self._latest) > self.max_entries:
+                self._latest.popitem(last=False)
+        return solution

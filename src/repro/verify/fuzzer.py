@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.allocation import (
     basic_allocation,
@@ -469,6 +469,53 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+def _run_case(
+    index: int,
+    seed: int,
+    suite: VerificationSuite,
+) -> Tuple[List[CheckOutcome], Optional[FuzzFailure]]:
+    """Generate, check, and (on failure) shrink case ``index`` of ``seed``.
+
+    Self-contained and deterministic: all randomness comes from the
+    ``("verify", index)`` stream of a fresh registry, so the result is a
+    pure function of ``(seed, index, suite config)`` — which is what lets
+    :func:`run_fuzz` fan cases across worker processes and still merge a
+    bit-identical report.
+    """
+    registry = RngRegistry(seed)
+    with phase_timer("verify.case"):
+        scenario = generate_scenario(registry, index)
+        outcomes = suite.run(scenario)
+    incr("verify.cases")
+    failed = [o for o in outcomes if o.failed]
+    if not failed:
+        return outcomes, None
+    first = failed[0]
+
+    def still_fails(candidate: Scenario) -> bool:
+        return any(
+            o.name == first.name and o.failed
+            for o in suite.run(candidate)
+        )
+
+    with phase_timer("verify.shrink"):
+        minimal = shrink_scenario(scenario, still_fails)
+    failure = FuzzFailure(
+        case=index,
+        check=first.name,
+        details=first.details,
+        scenario=scenario_to_dict(scenario),
+        shrunk=scenario_to_dict(minimal),
+    )
+    return outcomes, failure
+
+
+def _run_case_task(payload: Tuple[int, int, VerificationSuite]):
+    """Picklable single-argument adapter for :class:`ParallelSweep`."""
+    index, seed, suite = payload
+    return _run_case(index, seed, suite)
+
+
 def run_fuzz(
     cases: int = 50,
     seed: int = 0,
@@ -477,6 +524,7 @@ def run_fuzz(
     brute_force_max_vertices: int = FUZZ_BRUTE_FORCE_MAX_VERTICES,
     with_scipy: bool = False,
     max_failures: int = 5,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Run ``cases`` seeded scenarios through the verification suite.
 
@@ -485,8 +533,13 @@ def run_fuzz(
     name) is written there as JSON.  After ``max_failures`` distinct
     failures the run stops early — a systemic bug does not need 200
     identical shrink sessions.
+
+    ``jobs > 1`` fans the cases across worker processes
+    (:class:`repro.perf.parallel.ParallelSweep`); results are merged in
+    case order and the early-stop tally is applied at merge time, so the
+    report is bit-identical to the serial run.  ``jobs=0`` uses all
+    cores.  Reproducer files are always written from this process.
     """
-    registry = RngRegistry(seed)
     fault = inject_share_fault if inject_fault else None
     suite = VerificationSuite(
         brute_force_max_vertices=brute_force_max_vertices,
@@ -495,36 +548,25 @@ def run_fuzz(
     )
     report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault)
 
-    for index in range(cases):
-        with phase_timer("verify.case"):
-            scenario = generate_scenario(registry, index)
-            outcomes = suite.run(scenario)
-        incr("verify.cases")
+    if jobs == 1:
+        results = (
+            _run_case(index, seed, suite) for index in range(cases)
+        )
+    else:
+        from ..perf.parallel import ParallelSweep
+
+        results = iter(ParallelSweep(jobs).map(
+            _run_case_task, [(i, seed, suite) for i in range(cases)]
+        ))
+
+    for outcomes, failure in results:
         for outcome in outcomes:
             report.tally(outcome)
-        failed = [o for o in outcomes if o.failed]
-        if not failed:
+        if failure is None:
             continue
-        first = failed[0]
-
-        def still_fails(candidate: Scenario) -> bool:
-            return any(
-                o.name == first.name and o.failed
-                for o in suite.run(candidate)
-            )
-
-        with phase_timer("verify.shrink"):
-            minimal = shrink_scenario(scenario, still_fails)
-        failure = FuzzFailure(
-            case=index,
-            check=first.name,
-            details=first.details,
-            scenario=scenario_to_dict(scenario),
-            shrunk=scenario_to_dict(minimal),
-        )
         if reproducer_dir is not None:
             failure.reproducer_path = _write_reproducer(
-                reproducer_dir, seed, index, first.name, failure
+                reproducer_dir, seed, failure.case, failure.check, failure
             )
         report.failures.append(failure)
         incr("verify.failures")

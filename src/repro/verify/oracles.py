@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 from ..core.contention import ContentionAnalysis
 from ..core.distributed import DistributedAllocator
 from ..graphs import Graph, maximal_cliques
+from ..graphs.cliques import clique_vertex_order, sort_cliques
 from ..graphs.graph import Vertex
 from ..lp.problem import LinearProgram
 from ..lp.solvers import solve
@@ -66,7 +67,7 @@ def brute_force_maximal_cliques(
         )
     if n == 0:
         return []
-    order = sorted(graph.vertices(), key=repr)
+    order = clique_vertex_order(graph)
     rank = {v: i for i, v in enumerate(order)}
     adj = {v: graph.neighbors(v) for v in order}
 
@@ -83,7 +84,7 @@ def brute_force_maximal_cliques(
 
     extend([], order)
     # Isolated-vertex graphs: singletons are handled by the loop above.
-    return sorted(found, key=lambda c: (-len(c), sorted(map(repr, c))))
+    return sort_cliques(found, rank)
 
 
 def _is_maximal(graph: Graph, adj, members: Sequence[Vertex]) -> bool:

@@ -1,0 +1,95 @@
+"""Content-hash analysis/allocation cache: identical results, hit/miss
+accounting, LRU bounding, and fingerprint sensitivity."""
+
+import pytest
+
+from repro.core.allocation import basic_fairness_lp_allocation
+from repro.core.contention import ContentionAnalysis
+from repro.core.model import Scenario
+from repro.obs.registry import using_registry
+from repro.perf.cache import (
+    AnalysisCache,
+    cached_basic_fairness_allocation,
+    cached_contention_analysis,
+    clear_default_cache,
+    default_cache,
+    scenario_fingerprint,
+)
+from repro.scenarios import fig1, fig6
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    clear_default_cache()
+    yield
+    clear_default_cache()
+
+
+class TestFingerprint:
+    def test_structurally_equal_scenarios_share_fingerprint(self):
+        assert scenario_fingerprint(fig1.make_scenario()) == \
+            scenario_fingerprint(fig1.make_scenario())
+
+    def test_different_scenarios_differ(self):
+        assert scenario_fingerprint(fig1.make_scenario()) != \
+            scenario_fingerprint(fig6.make_scenario())
+
+    def test_capacity_changes_fingerprint(self):
+        base = fig1.make_scenario()
+        scaled = Scenario(base.network, list(base.flows), name=base.name,
+                          capacity=2.0)
+        assert scenario_fingerprint(base) != scenario_fingerprint(scaled)
+
+
+class TestAnalysisCache:
+    def test_identical_results_and_hit_accounting(self):
+        cache = AnalysisCache()
+        scenario = fig1.make_scenario()
+        with using_registry() as reg:
+            first = cache.analysis(scenario)
+            second = cache.analysis(fig1.make_scenario())  # equal copy
+        assert second is first
+        assert first.cliques == ContentionAnalysis(scenario).cliques
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert reg.counters["perf.cache.hit"].value == 1
+        assert reg.counters["perf.cache.miss"].value == 1
+
+    def test_allocation_matches_uncached(self):
+        cache = AnalysisCache()
+        scenario = fig1.make_scenario()
+        cached = cache.basic_fairness_allocation(scenario)
+        plain = basic_fairness_lp_allocation(ContentionAnalysis(scenario))
+        assert cached.shares == plain.shares
+        assert cache.basic_fairness_allocation(scenario) is cached
+
+    def test_allocation_variants_cached_separately(self):
+        cache = AnalysisCache()
+        scenario = fig1.make_scenario()
+        a = cache.basic_fairness_allocation(scenario)
+        b = cache.basic_fairness_allocation(scenario, refine_maxmin=False)
+        assert a is not b
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = AnalysisCache(max_entries=1)
+        s1, s6 = fig1.make_scenario(), fig6.make_scenario()
+        cache.analysis(s1)
+        cache.analysis(s6)
+        assert len(cache) == 1
+        cache.analysis(s1)  # evicted above, so this recomputes
+        assert cache.misses == 3 and cache.hits == 0
+
+
+class TestDefaultCache:
+    def test_module_helpers_share_default_cache(self):
+        scenario = fig1.make_scenario()
+        analysis = cached_contention_analysis(scenario)
+        assert cached_contention_analysis(scenario) is analysis
+        allocation = cached_basic_fairness_allocation(scenario)
+        assert cached_basic_fairness_allocation(scenario) is allocation
+        assert default_cache().hits >= 2
+
+    def test_clear_resets_entries(self):
+        cached_contention_analysis(fig1.make_scenario())
+        assert len(default_cache()) > 0
+        clear_default_cache()
+        assert len(default_cache()) == 0

@@ -1,0 +1,110 @@
+"""ParallelSweep: parallel results and reports bit-identical to serial,
+ordered merging, and worker-metric folding."""
+
+import json
+
+from repro.experiments.ablations import scaling_study
+from repro.obs.registry import MetricsRegistry, using_registry
+from repro.perf.parallel import ParallelSweep, effective_jobs
+from repro.scenarios.io import scenario_to_dict
+from repro.scenarios.random_topology import random_scenario_sweep
+from repro.verify.fuzzer import run_fuzz
+
+
+def square(x):
+    return x * x
+
+
+def observe_task(x):
+    from repro.obs.registry import incr, observe
+
+    incr("perf.test.tasks")
+    observe("perf.test.values", float(x))
+    return -x
+
+
+class TestEffectiveJobs:
+    def test_defaults_to_all_cores(self):
+        assert effective_jobs(None) >= 1
+        assert effective_jobs(0) == effective_jobs(None)
+
+    def test_explicit_and_clamped(self):
+        assert effective_jobs(3) == 3
+        assert effective_jobs(-2) == 1
+
+
+class TestMapSemantics:
+    def test_order_preserved_serial_and_parallel(self):
+        items = list(range(20))
+        expected = [square(x) for x in items]
+        assert ParallelSweep(1).map(square, items) == expected
+        assert ParallelSweep(2).map(square, items) == expected
+
+    def test_empty_and_single_item(self):
+        assert ParallelSweep(4).map(square, []) == []
+        assert ParallelSweep(4).map(square, [7]) == [49]
+
+    def test_worker_metrics_folded_into_parent(self):
+        items = [1.0, 2.0, 3.0, 4.0]
+        with using_registry() as reg:
+            out = ParallelSweep(2).map(observe_task, items)
+        assert out == [-1.0, -2.0, -3.0, -4.0]
+        assert reg.counters["perf.test.tasks"].value == len(items)
+        assert sorted(reg.histograms["perf.test.values"].values) == items
+
+
+class TestRegistryMerge:
+    def test_merge_snapshot_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        worker.gauge("g").set(2.5)
+        worker.histogram("h").observe(1.0)
+        worker.histogram("h").observe(4.0)
+        worker.timer("t").add(wall_s=0.5, cpu_s=0.25, calls=2)
+
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.merge_snapshot(worker.mergeable_snapshot())
+        assert parent.counters["c"].value == 4
+        assert parent.gauges["g"].value == 2.5
+        assert parent.histograms["h"].values == [1.0, 4.0]
+        assert parent.timers["t"].calls == 2
+        assert parent.timers["t"].wall_s == 0.5
+
+    def test_summary_histograms_skipped_not_fabricated(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot({"histograms": {"h": {"count": 3}}})
+        assert "h" not in parent.histograms
+
+
+class TestSweepBitIdentity:
+    def test_fuzz_report_parallel_equals_serial(self):
+        serial = run_fuzz(cases=5, seed=11, jobs=1)
+        parallel = run_fuzz(cases=5, seed=11, jobs=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == \
+            json.dumps(parallel.to_dict(), sort_keys=True)
+
+    def test_fuzz_injected_fault_parallel_equals_serial(self):
+        serial = run_fuzz(cases=3, seed=2, inject_fault=True,
+                          max_failures=2, jobs=1)
+        parallel = run_fuzz(cases=3, seed=2, inject_fault=True,
+                            max_failures=2, jobs=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == \
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        assert serial.failures  # the fault was caught in both runs
+
+    def test_scaling_study_parallel_equals_serial(self):
+        serial = scaling_study(sizes=(10, 12), jobs=1)
+        parallel = scaling_study(sizes=(10, 12), jobs=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == \
+            json.dumps(parallel.to_dict(), sort_keys=True)
+
+    def test_random_scenario_sweep_parallel_equals_serial(self):
+        params = [
+            {"num_nodes": 10, "num_flows": 3, "seed": 1},
+            {"num_nodes": 12, "num_flows": 4, "seed": 2},
+        ]
+        serial = random_scenario_sweep(params, jobs=1)
+        parallel = random_scenario_sweep(params, jobs=2)
+        assert [scenario_to_dict(s) for s in serial] == \
+            [scenario_to_dict(s) for s in parallel]
