@@ -10,6 +10,9 @@ Subcommands::
                           scaling
     verify                differential oracles + paper invariants on
                           seeded random scenarios (fuzzing harness)
+    chaos                 fault-injection campaign: lossy 2PA-D across a
+                          loss-rate x crash-schedule grid with safety
+                          invariants checked on every run
     all                   everything above with default settings
 
 Observability flags (on ``table1``/``table2``/``table3``/``ablation``/
@@ -128,6 +131,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the case sweep (0 = all "
                         "cores, default 1); the report is bit-identical "
                         "to a serial run")
+    p.add_argument("--faults", action="store_true",
+                   help="also run every case through lossy 2PA-D under a "
+                        "seeded fault plan and check the resilience "
+                        "safety invariants")
+    _add_obs_flags(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: lossy 2PA-D across loss rates "
+             "and crash schedules, safety invariants checked per run",
+    )
+    p.add_argument("--cases", type=int, default=25,
+                   help="number of random scenarios (default 25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for scenario + fault streams "
+                        "(default 0)")
+    p.add_argument("--loss", metavar="RATES", default="0,0.1,0.3",
+                   help="comma-separated message loss rates "
+                        "(default 0,0.1,0.3)")
+    p.add_argument("--crash-prob", type=float, default=0.2,
+                   help="per-node crash probability per plan (default 0.2)")
+    p.add_argument("--max-retries", type=int, default=4,
+                   help="channel retransmit budget per transfer (default 4)")
+    p.add_argument("--max-rounds", type=int, default=256,
+                   help="channel round budget per flow (default 256)")
+    p.add_argument("--inject-fault", action="store_true",
+                   help="perturb every degraded allocation to prove the "
+                        "safety checkers catch a bad allocation")
     _add_obs_flags(p)
 
     p = sub.add_parser("show", help="render a scenario and its analysis")
@@ -288,18 +319,57 @@ def main(argv: Optional[List[str]] = None) -> int:
                 reproducer_dir=args.reproducer_dir,
                 with_scipy=args.with_scipy,
                 jobs=args.jobs,
+                faults=args.faults,
             )
             reports.append(report)
             return report.render(), "random-fuzz", report.to_dict()
 
         code = _run_observed(
             args, "verify", args.seed,
-            {"cases": args.cases, "inject_fault": args.inject_fault},
+            {"cases": args.cases, "inject_fault": args.inject_fault,
+             "faults": args.faults},
             verify_payload,
         )
         if code != 0:
             return code
         return 0 if reports and reports[0].ok else 1
+    if args.command == "chaos":
+        from .resilience import run_chaos
+
+        chaos_reports: List[object] = []
+        loss_rates = [
+            float(r) for r in args.loss.split(",") if r.strip() != ""
+        ]
+
+        def chaos_payload(tracer: Tracer) -> _Payload:
+            report = run_chaos(
+                cases=args.cases,
+                seed=args.seed,
+                loss_rates=loss_rates,
+                crash_prob=args.crash_prob,
+                max_retries=args.max_retries,
+                max_rounds=args.max_rounds,
+                inject_fault=args.inject_fault,
+            )
+            chaos_reports.append(report)
+            return report.render(), "random-chaos", report.to_dict()
+
+        code = _run_observed(
+            args, "chaos", args.seed,
+            {"cases": args.cases, "loss_rates": loss_rates,
+             "crash_prob": args.crash_prob,
+             "inject_fault": args.inject_fault},
+            chaos_payload,
+        )
+        if code != 0:
+            return code
+        if not chaos_reports:
+            return 1
+        ok = chaos_reports[0].ok
+        # With an injected fault the campaign is healthy only if the
+        # safety checkers *caught* something (same inversion as verify).
+        return (0 if not ok else 1) if args.inject_fault else (0 if ok
+                                                               else 1)
     if args.command == "show":
         from .experiments import (
             render_allocation_comparison,

@@ -26,6 +26,13 @@ Each node works from *local* information only:
 
 The per-node LPs and solutions reproduce Table I of the paper exactly; see
 ``tests/test_distributed.py``.
+
+Step 3's exchange is lossless and instantaneous by default.  Passing a
+``channel`` (see :class:`repro.resilience.channel.UnreliableChannel`)
+replaces it with an acknowledged, retransmitting exchange over a faulted
+medium; when that exchange does not fully converge, :meth:`run` degrades
+gracefully to conservative shares instead of optimizing over incomplete
+constraint views.
 """
 
 from __future__ import annotations
@@ -82,6 +89,7 @@ class DistributedAllocator:
         scenario: Scenario,
         backend: str = "simplex",
         analysis: ContentionAnalysis = None,
+        channel=None,
     ) -> None:
         self.scenario = scenario
         self.backend = backend
@@ -91,12 +99,20 @@ class DistributedAllocator:
         # describe exactly this scenario.
         self.analysis = (analysis if analysis is not None
                          else ContentionAnalysis(scenario))
+        #: Optional unreliable message channel
+        #: (:class:`repro.resilience.channel.UnreliableChannel`).  ``None``
+        #: keeps the lossless, instantaneous exchange below — the default
+        #: path is untouched and byte-identical to the channel-free code.
+        self.channel = channel
         self.views: Dict[NodeId, LocalView] = {}
         self.problems: Dict[NodeId, LocalProblem] = {}
         self._shares: Dict[str, float] = {}
         #: Convergence statistics of the last :meth:`propagate_constraints`
         #: run: synchronous gossip rounds and clique-transfer messages until
-        #: every path node holds all constraints involving its flow.
+        #: every path node holds all constraints involving its flow, plus a
+        #: ``status`` (always ``"converged"`` on the lossless path; an
+        #: unreliable channel may report ``"converged-partial"`` or
+        #: ``"timed-out"`` instead of raising).
         self.convergence: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
@@ -155,11 +171,24 @@ class DistributedAllocator:
         if not self.views:
             self.build_local_views()
         with phase_timer("2pad.propagate"):
-            self._propagate_constraints()
+            if self.channel is None:
+                self._propagate_constraints()
+            else:
+                self.convergence = self.channel.propagate(self)
 
     def _propagate_constraints(self) -> None:
+        # Reset up front and update incrementally per flow: if a fault
+        # makes one flow's exchange raise mid-run, the record still holds
+        # the completed flows' stats (status "in-progress") instead of
+        # stale numbers from an earlier run corrupting later metrics.
         total_messages = 0
         rounds_per_flow: Dict[str, int] = {}
+        self.convergence = {
+            "rounds_per_flow": rounds_per_flow,
+            "max_rounds": 0,
+            "total_messages": 0,
+            "status": "in-progress",
+        }
         for flow in self.scenario.flows:
             path = list(flow.path)
             holding: Dict[NodeId, Set[Clique]] = {
@@ -188,6 +217,10 @@ class DistributedAllocator:
                 for neighbor, clique in transfers:
                     holding[neighbor].add(clique)
             rounds_per_flow[flow.flow_id] = rounds
+            self.convergence["max_rounds"] = max(
+                rounds_per_flow.values(), default=0
+            )
+            self.convergence["total_messages"] = total_messages
             observe("2pad.rounds_to_convergence", rounds)
             for node in path:
                 view = self.views[node]
@@ -198,11 +231,7 @@ class DistributedAllocator:
                 ):
                     if clique not in own and clique not in view.received_cliques:
                         view.received_cliques.append(clique)
-        self.convergence = {
-            "rounds_per_flow": rounds_per_flow,
-            "max_rounds": max(rounds_per_flow.values(), default=0),
-            "total_messages": total_messages,
-        }
+        self.convergence["status"] = "converged"
         incr("2pad.messages", total_messages)
         set_gauge("2pad.max_rounds",
                   float(self.convergence["max_rounds"]))
@@ -337,10 +366,27 @@ class DistributedAllocator:
     # Step 5: adopt source-local shares
     # ------------------------------------------------------------------
     def run(self) -> AllocationResult:
-        """Execute the whole protocol; each flow takes its source's share."""
+        """Execute the whole protocol; each flow takes its source's share.
+
+        When an unreliable channel reports anything other than full
+        convergence, the run degrades gracefully instead of solving local
+        LPs from incomplete constraint views: confirmed flows keep their
+        LP share, unconfirmed flows are clamped to their basic share, and
+        a capacity governor enforces Eq. (6) on the mixture (see
+        :func:`repro.resilience.degrade.degraded_allocation`).
+        """
         with phase_timer("2pad.run"):
             self.build_local_views()
             self.propagate_constraints()
+            if (self.channel is not None
+                    and self.convergence.get("status") != "converged"):
+                from ..resilience.degrade import degraded_allocation
+
+                result = degraded_allocation(self)
+                self._shares = dict(result.shares)
+                incr("2pad.runs")
+                incr("2pad.degraded_runs")
+                return result
             for flow in self.scenario.flows:
                 problem = self.problems.get(flow.source) or self.solve_local(
                     flow.source
@@ -348,6 +394,20 @@ class DistributedAllocator:
                 self._shares[flow.flow_id] = problem.solution[
                     f"r_{flow.flow_id}"
                 ]
+            if self.channel is not None:
+                # Resilient mode promises Eq. (6) under *every* fault
+                # plan, including a fully converged one: the local LPs
+                # bound each source's view but do not globally prevent a
+                # clique from being oversubscribed by independently
+                # solved sources, so run the capacity governor here too.
+                from ..resilience.degrade import enforce_clique_capacity
+
+                safe, clamped = enforce_clique_capacity(
+                    self.analysis, self._shares
+                )
+                if clamped:
+                    self._shares = safe
+                    incr("resilience.degrade.capacity_clamp")
         incr("2pad.runs")
         return AllocationResult(
             "distributed-local-lp",
@@ -367,6 +427,9 @@ def run_distributed(
     scenario: Scenario,
     backend: str = "simplex",
     analysis: ContentionAnalysis = None,
+    channel=None,
 ) -> AllocationResult:
     """One-shot convenience wrapper (2PA-D phase 1)."""
-    return DistributedAllocator(scenario, backend, analysis=analysis).run()
+    return DistributedAllocator(
+        scenario, backend, analysis=analysis, channel=channel
+    ).run()

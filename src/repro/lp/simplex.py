@@ -34,6 +34,7 @@ bit-identical to the scalar reference loops they replaced.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -42,6 +43,8 @@ from ..obs.registry import incr, phase_timer
 from .problem import LinearProgram, LPSolution
 
 _EPS = 1e-9
+
+_LOG = logging.getLogger(__name__)
 
 #: Structure-stable basis encoding: one ``(kind, index)`` label per row.
 Basis = Tuple[Tuple[str, int], ...]
@@ -163,7 +166,7 @@ def _simplex_leq(
     warm_ok = False
     if start_basis is not None:
         incr("perf.lp.warm.attempts")
-        installed = _install_basis(
+        installed, stale_reason = _install_basis(
             a0, b0, col_label, start_basis, art_start
         )
         if installed is not None:
@@ -172,6 +175,13 @@ def _simplex_leq(
             incr("perf.lp.warm.installed")
         else:
             incr("perf.lp.warm.fallbacks")
+            incr("lp.warm.stale_basis")
+            incr(f"lp.warm.stale_basis.{stale_reason}")
+            _LOG.debug(
+                "stale warm basis (%s): %d labels for %d rows; "
+                "falling back to cold two-phase solve",
+                stale_reason, len(start_basis), m,
+            )
 
     if not warm_ok and art_cols:
         # Phase 1: minimize sum of artificials == maximize -sum.
@@ -218,8 +228,14 @@ def _install_basis(
     col_label: List[Tuple[str, int]],
     start_basis: Basis,
     art_start: int,
-) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Build the tableau state for ``start_basis``; None on failure.
+) -> Tuple[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]], str]:
+    """Build the tableau state for ``start_basis``.
+
+    Returns ``(state, reason)``: ``state`` is ``(tableau, rhs, basis)``
+    on success and ``None`` on failure, in which case ``reason`` is a
+    short staleness classifier (``row-count``, ``unknown-label``,
+    ``duplicate-column``, ``singular``, ``infeasible-point``,
+    ``ill-conditioned``) for the ``lp.warm.stale_basis`` counters.
 
     The basis must have one label per row, every label must resolve to a
     non-artificial column of the current layout, the basis matrix must be
@@ -230,38 +246,38 @@ def _install_basis(
     """
     m = a0.shape[0]
     if len(start_basis) != m:
-        return None
+        return None, "row-count"
     index = {label: j for j, label in enumerate(col_label)}
     cols = []
     for label in start_basis:
         j = index.get(tuple(label))
         if j is None or j >= art_start:
-            return None
+            return None, "unknown-label"
         cols.append(j)
     if len(set(cols)) != m:
-        return None
+        return None, "duplicate-column"
     basis_matrix = a0[:, cols]
     try:
         solved = np.linalg.solve(
             basis_matrix, np.column_stack([a0, b0])
         )
     except np.linalg.LinAlgError:
-        return None
+        return None, "singular"
     tableau = solved[:, :-1]
     rhs = solved[:, -1]
     if not np.all(np.isfinite(rhs)) or np.any(rhs < -1e-7):
-        return None
+        return None, "infeasible-point"
     # Reject ill-conditioned bases: the basis columns of B^-1 A must
     # reduce to the identity or later sign tests cannot be trusted.
     eye = np.eye(m)
     if np.abs(tableau[:, cols] - eye).max() > 1e-7:
-        return None
+        return None, "ill-conditioned"
     tableau[:, cols] = eye
     # Tiny negative dust from the reduction would poison the ratio test.
     rhs[rhs < 0.0] = 0.0
     tableau[np.abs(tableau) < 1e-12] = 0.0
     rhs[np.abs(rhs) < 1e-12] = 0.0
-    return tableau, rhs, np.asarray(cols, dtype=int)
+    return (tableau, rhs, np.asarray(cols, dtype=int)), ""
 
 
 def _run_simplex(

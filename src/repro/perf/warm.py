@@ -19,6 +19,7 @@ Usage: pass ``cache.solver`` anywhere a ``backend`` is accepted::
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import Hashable, Optional, Tuple
 
@@ -27,6 +28,8 @@ from ..lp.simplex import Basis, solve_simplex
 from ..obs.registry import incr, phase_timer
 
 __all__ = ["WarmLPCache", "lp_structure_signature"]
+
+_LOG = logging.getLogger(__name__)
 
 
 def lp_structure_signature(lp: LinearProgram) -> Hashable:
@@ -124,6 +127,11 @@ class WarmLPCache:
                             ("s", i) for i in range(k, len(cons_sig))
                         )
                         incr("perf.lp.warm.extends")
+                        _LOG.debug(
+                            "extending %d-row warm basis with %d slack "
+                            "column(s) for a prefix-compatible LP",
+                            k, len(cons_sig) - k,
+                        )
             solution = solve_simplex(lp, start_basis=start)
         if solution.basis is not None:
             self._put(key, solution.basis)

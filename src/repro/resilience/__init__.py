@@ -1,0 +1,76 @@
+"""``repro.resilience``: fault injection, lossy 2PA-D, graceful degradation.
+
+The distributed phase-1 protocol (Sec. IV-B) is specified over an
+idealized exchange; this package makes the reproduction breakable on
+purpose — and trustworthy anyway:
+
+* :mod:`~repro.resilience.faults` — seeded, serializable, shrinkable
+  fault plans (message drop/duplicate/delay, ack loss, node
+  crash/restart, link flaps) and the injector that turns them into
+  reproducible per-message decisions;
+* :mod:`~repro.resilience.channel` — an unreliable constraint-propagation
+  channel with per-message acks, bounded retransmits, exponential
+  backoff with deterministic jitter, and a convergence detector
+  (``converged`` / ``converged-partial`` / ``timed-out``);
+* :mod:`~repro.resilience.degrade` — the graceful-degradation ladder
+  (local LP for confirmed flows, basic-share clamp for unconfirmed ones,
+  a clique-capacity governor for the mixture) and the LP fallback chain
+  warm float simplex → cold float simplex → exact-Fraction solver;
+* :mod:`~repro.resilience.campaign` — chaos campaigns sweeping loss
+  rates x crash schedules with the paper's safety invariants checked on
+  every run.
+
+CLI: ``repro-experiments chaos --cases 50 --seed 0 --loss 0,0.1,0.3``.
+"""
+
+from .channel import (
+    CONVERGED,
+    CONVERGED_PARTIAL,
+    TIMED_OUT,
+    ChannelStats,
+    UnreliableChannel,
+    worst_status,
+)
+from .degrade import (
+    ResilientLPBackend,
+    degraded_allocation,
+    enforce_clique_capacity,
+    global_basic_shares,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    LinkFlap,
+    NodeCrash,
+)
+from .campaign import (
+    CaseChecks,
+    ChaosReport,
+    ChaosViolation,
+    run_chaos,
+    run_chaos_case,
+)
+
+__all__ = [
+    "CONVERGED",
+    "CONVERGED_PARTIAL",
+    "TIMED_OUT",
+    "ChannelStats",
+    "UnreliableChannel",
+    "worst_status",
+    "ResilientLPBackend",
+    "degraded_allocation",
+    "enforce_clique_capacity",
+    "global_basic_shares",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
+    "LinkFlap",
+    "NodeCrash",
+    "CaseChecks",
+    "ChaosReport",
+    "ChaosViolation",
+    "run_chaos",
+    "run_chaos_case",
+]

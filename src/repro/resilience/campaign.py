@@ -1,0 +1,317 @@
+"""Chaos campaigns: sweep fault plans, check the safety invariants.
+
+One *chaos case* runs the full resilience stack on one scenario under
+one :class:`~repro.resilience.faults.FaultPlan`:
+
+1. lossy 2PA-D (:class:`~repro.resilience.channel.UnreliableChannel`
+   over a seeded injector) with the degradation ladder and the
+   :class:`~repro.resilience.degrade.ResilientLPBackend` fallback chain;
+2. the **safety invariants**, via the existing checkers from
+   :mod:`repro.verify.invariants`:
+
+   * the (possibly degraded) allocation never exceeds any clique
+     capacity — Eq. (6), under *every* fault plan;
+   * the run reports a valid convergence status instead of raising;
+   * after fault healing (a fresh lossless run), every flow is restored
+     to at least its basic share (Sec. II-D) and Eq. (6) still holds.
+
+:func:`run_chaos` sweeps ``cases`` random scenarios (the verification
+fuzzer's generator, so case ``i`` of seed ``s`` is the same topology the
+``verify`` harness would draw) across a grid of loss rates, tallies
+statuses and check outcomes, and records any violation together with the
+serialized scenario *and* fault plan so it can be replayed.  The
+``repro-experiments chaos`` subcommand drives exactly this code path and
+emits the result as a :mod:`repro.obs` run artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.contention import ContentionAnalysis
+from ..core.distributed import DistributedAllocator
+from ..core.model import Scenario
+from ..obs.registry import incr, phase_timer
+from ..scenarios.io import scenario_to_dict
+from ..sim.rng import RngRegistry
+from ..verify.invariants import (
+    check_basic_fairness,
+    check_clique_capacity,
+)
+from .channel import CONVERGED, STATUS_ORDER, UnreliableChannel
+from .degrade import ResilientLPBackend, enforce_clique_capacity
+from .faults import FaultInjector, FaultPlan
+
+__all__ = [
+    "CaseChecks",
+    "ChaosViolation",
+    "ChaosReport",
+    "run_chaos_case",
+    "run_chaos",
+]
+
+DEFAULT_LOSS_RATES = (0.0, 0.1, 0.3)
+
+
+@dataclass
+class CaseChecks:
+    """Everything one chaos case produced, checks included."""
+
+    status: str
+    checks: List[Tuple[str, bool, str]]
+    shares: Dict[str, float] = field(default_factory=dict)
+    healed_shares: Dict[str, float] = field(default_factory=dict)
+    degraded_flows: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(ok for _name, ok, _details in self.checks)
+
+    def failed_checks(self) -> List[Tuple[str, str]]:
+        return [(name, details) for name, ok, details in self.checks
+                if not ok]
+
+
+def run_chaos_case(
+    scenario: Scenario,
+    plan: FaultPlan,
+    registry: RngRegistry,
+    prefix: Tuple = ("chaos", "channel"),
+    analysis: Optional[ContentionAnalysis] = None,
+    healed_shares: Optional[Dict[str, float]] = None,
+    max_retries: int = 4,
+    max_rounds: int = 256,
+    fault: Optional[Callable[[Dict[str, float], float],
+                             Dict[str, float]]] = None,
+) -> CaseChecks:
+    """One scenario under one fault plan, safety-checked end to end.
+
+    ``fault`` optionally post-processes the degraded allocation before
+    the capacity check — the hook that proves the harness catches a bad
+    allocation (mirrors the verification fuzzer's ``--inject-fault``).
+    ``healed_shares`` may carry a precomputed lossless run (the healing
+    baseline is plan-independent); when omitted it is computed here.
+    """
+    if analysis is None:
+        analysis = ContentionAnalysis(scenario)
+    checks: List[Tuple[str, bool, str]] = []
+
+    injector = FaultInjector(plan, registry, prefix=prefix)
+    channel = UnreliableChannel(
+        injector, max_retries=max_retries, max_rounds=max_rounds
+    )
+    backend = ResilientLPBackend()
+    try:
+        with phase_timer("resilience.case"):
+            allocator = DistributedAllocator(
+                scenario, backend=backend, analysis=analysis,
+                channel=channel,
+            )
+            result = allocator.run()
+    except Exception as exc:
+        incr("resilience.case_raised")
+        return CaseChecks(
+            status="raised",
+            checks=[("chaos.no_raise", False,
+                     f"{type(exc).__name__}: {exc}")],
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    checks.append(("chaos.no_raise", True, ""))
+
+    status = str(allocator.convergence.get("status", ""))
+    checks.append((
+        "chaos.status_valid",
+        status in STATUS_ORDER,
+        "" if status in STATUS_ORDER
+        else f"unexpected status {status!r}",
+    ))
+
+    shares = dict(result.shares)
+    if fault is not None:
+        shares = fault(shares, scenario.capacity)
+    res = check_clique_capacity(analysis, shares)
+    checks.append(("chaos.clique_capacity", res.ok, res.details))
+
+    if healed_shares is None:
+        healed_shares, _clamped = enforce_clique_capacity(
+            analysis,
+            DistributedAllocator(scenario, analysis=analysis).run().shares,
+        )
+    res = check_basic_fairness(analysis, healed_shares)
+    checks.append(("chaos.healed_basic_fairness", res.ok, res.details))
+    res = check_clique_capacity(analysis, healed_shares)
+    checks.append(("chaos.healed_clique_capacity", res.ok, res.details))
+
+    per_flow = allocator.convergence.get("per_flow", {})
+    degraded = sum(
+        1 for info in per_flow.values() if not info.get("confirmed")
+    )
+    return CaseChecks(
+        status=status,
+        checks=checks,
+        shares=shares,
+        healed_shares=dict(healed_shares),
+        degraded_flows=degraded,
+    )
+
+
+@dataclass
+class ChaosViolation:
+    """One safety-invariant violation, with everything needed to replay."""
+
+    case: int
+    loss: float
+    check: str
+    details: str
+    scenario: Dict[str, object]
+    fault_plan: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "loss": self.loss,
+            "check": self.check,
+            "details": self.details,
+            "scenario": self.scenario,
+            "fault_plan": self.fault_plan,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of one chaos campaign, renderable and artifact-ready."""
+
+    cases: int
+    seed: int
+    loss_rates: Tuple[float, ...]
+    statuses: Dict[str, int] = field(default_factory=dict)
+    checks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    degraded_flows: int = 0
+    violations: List[ChaosViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def tally(self, case: CaseChecks) -> None:
+        self.statuses[case.status] = self.statuses.get(case.status, 0) + 1
+        self.degraded_flows += case.degraded_flows
+        for name, ok, _details in case.checks:
+            row = self.checks.setdefault(name, {"pass": 0, "fail": 0})
+            row["pass" if ok else "fail"] += 1
+            incr(f"resilience.{name}.{'pass' if ok else 'fail'}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cases": self.cases,
+            "seed": self.seed,
+            "loss_rates": list(self.loss_rates),
+            "ok": self.ok,
+            "statuses": dict(sorted(self.statuses.items())),
+            "checks": {k: dict(v) for k, v in sorted(self.checks.items())},
+            "degraded_flows": self.degraded_flows,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"repro chaos: {self.cases} case(s) x "
+            f"{len(self.loss_rates)} loss rate(s) "
+            f"{tuple(self.loss_rates)}, seed {self.seed}",
+            "",
+            f"  {'convergence status':<28} {'runs':>6}",
+        ]
+        for status in sorted(self.statuses):
+            lines.append(f"  {status:<28} {self.statuses[status]:>6}")
+        lines.append(
+            f"  {'flows degraded to basic':<28} {self.degraded_flows:>6}"
+        )
+        lines.append("")
+        lines.append(f"  {'safety check':<28} {'pass':>6} {'fail':>6}")
+        for name in sorted(self.checks):
+            row = self.checks[name]
+            lines.append(
+                f"  {name:<28} {row['pass']:>6} {row['fail']:>6}"
+            )
+        lines.append("")
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            for v in self.violations:
+                lines.append(
+                    f"  case {v.case} @ loss {v.loss:g}: {v.check}"
+                )
+                if v.details:
+                    lines.append(f"    {v.details}")
+        else:
+            lines.append("all safety invariants held")
+        return "\n".join(lines)
+
+
+def run_chaos(
+    cases: int = 25,
+    seed: int = 0,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    crash_prob: float = 0.2,
+    max_retries: int = 4,
+    max_rounds: int = 256,
+    max_violations: int = 5,
+    inject_fault: bool = False,
+) -> ChaosReport:
+    """Sweep ``cases`` scenarios x ``loss_rates`` fault plans.
+
+    Scenario ``i`` comes from the verification fuzzer's generator (same
+    stream layout, so chaos case ``i`` and verify case ``i`` share a
+    topology); the fault plan for ``(i, loss)`` is drawn from stream
+    ``("chaos", i, loss)``.  ``inject_fault`` perturbs every degraded
+    allocation so a healthy harness must *fail* — used to prove the
+    checkers bite (the report's ``ok`` stays False-on-violation
+    semantics; callers invert it, as the verify CLI does).
+    """
+    from ..verify.fuzzer import generate_scenario, inject_share_fault
+
+    fault = inject_share_fault if inject_fault else None
+    rates = tuple(float(r) for r in loss_rates)
+    report = ChaosReport(cases=cases, seed=seed, loss_rates=rates)
+    for index in range(cases):
+        registry = RngRegistry(seed)
+        scenario = generate_scenario(registry, index)
+        analysis = ContentionAnalysis(scenario)
+        # The healing baseline is a fresh fault-free run *through the
+        # resilience stack*: plain 2PA-D local-LP shares plus the
+        # capacity governor — exactly what a lossless channel produces.
+        healed, _clamped = enforce_clique_capacity(
+            analysis,
+            DistributedAllocator(scenario, analysis=analysis).run().shares,
+        )
+        for loss in rates:
+            plan = FaultPlan.draw(
+                registry.stream(("chaos", index, repr(loss))),
+                nodes=scenario.network.nodes,
+                loss=loss,
+                crash_prob=crash_prob,
+            )
+            case = run_chaos_case(
+                scenario, plan, registry,
+                prefix=("chaos", index, repr(loss), "channel"),
+                analysis=analysis,
+                healed_shares=healed,
+                max_retries=max_retries,
+                max_rounds=max_rounds,
+                fault=fault,
+            )
+            incr("resilience.cases")
+            report.tally(case)
+            for name, details in case.failed_checks():
+                report.violations.append(ChaosViolation(
+                    case=index,
+                    loss=loss,
+                    check=name,
+                    details=details,
+                    scenario=scenario_to_dict(scenario),
+                    fault_plan=plan.to_dict(),
+                ))
+            if len(report.violations) >= max_violations:
+                return report
+    return report

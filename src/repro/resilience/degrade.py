@@ -1,0 +1,233 @@
+"""Graceful degradation: never over-allocate, fall back to basic shares.
+
+Two safety mechanisms for a 2PA-D run whose constraint exchange did not
+fully converge (see :mod:`repro.resilience.channel`):
+
+**Allocation ladder** (:func:`degraded_allocation`):
+
+1. A flow whose source holds *every* constraint involving it (per-flow
+   status ``"converged"``, source alive) solves its local LP exactly as
+   in the fault-free protocol.
+2. A flow with an incomplete or stale constraint view — or whose source
+   is down — is clamped to its global basic share
+   ``r̂_i = w_i B / Σ_j w_j v_j`` (Sec. II-D), the allocation the paper
+   guarantees to be jointly feasible within a contending flow group.
+3. A final *capacity governor* rescales shares so no maximal clique ever
+   exceeds ``B`` (Eq. 6), whatever mixture steps 1–2 produced: for every
+   overloaded clique ``k`` each member flow's scale factor is capped at
+   ``B / load_k``, so after one pass every clique's load is ``<= B``
+   (shares only shrink, and each member of clique ``k`` carries a factor
+   ``<= B / load_k``).
+
+**LP fallback chain** (:class:`ResilientLPBackend`): a drop-in LP backend
+that tries the warm-started float simplex
+(:class:`~repro.perf.warm.WarmLPCache`), then a cold float simplex
+solve, then the exact-``Fraction`` reference solver from
+:mod:`repro.verify.exact_lp`.  A stage *fails* when it raises or returns
+a malformed solution (unknown status, or an "optimal" with non-finite
+values); a clean ``optimal``/``infeasible``/``unbounded`` verdict is an
+answer, not a failure.  Every demotion increments the
+``resilience.lp.fallback`` counter (plus a per-stage counter), so chaos
+run artifacts show exactly how often the float path had to be rescued.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.allocation import AllocationResult
+from ..core.contention import ContentionAnalysis
+from ..core.fairness_defs import basic_shares
+from ..lp.problem import LinearProgram, LPSolution
+from ..lp.simplex import solve_simplex
+from ..obs.registry import incr
+from ..perf.warm import WarmLPCache
+
+__all__ = [
+    "ResilientLPBackend",
+    "degraded_allocation",
+    "enforce_clique_capacity",
+    "global_basic_shares",
+]
+
+_LOG = logging.getLogger(__name__)
+
+#: Strict-feasibility margin applied by the capacity governor so float
+#: rounding in the rescaled loads cannot creep past B.
+_GOVERNOR_MARGIN = 1.0 - 1e-12
+
+#: Overload below this tolerance is float noise, not a violation — the
+#: same tolerance :func:`repro.verify.invariants.check_clique_capacity`
+#: uses, so the governor never rescales an allocation the checker would
+#: already accept (keeping lossless channel runs bitwise identical to
+#: the channel-free protocol).
+_GOVERNOR_TOL = 1e-9
+
+
+def global_basic_shares(analysis: ContentionAnalysis) -> Dict[str, float]:
+    """Basic share of every flow, computed per contending flow group."""
+    shares: Dict[str, float] = {}
+    for group in analysis.groups:
+        shares.update(basic_shares(group, analysis.scenario.capacity))
+    return shares
+
+
+def enforce_clique_capacity(
+    analysis: ContentionAnalysis,
+    shares: Mapping[str, float],
+    capacity: Optional[float] = None,
+) -> Tuple[Dict[str, float], bool]:
+    """Scale ``shares`` down until every clique satisfies Eq. (6).
+
+    Returns ``(safe_shares, clamped)``.  One pass suffices: every flow's
+    factor is the minimum of ``B / load_k`` over its overloaded cliques,
+    so each clique's rescaled load is at most ``B`` (factors never exceed
+    1 and shrinking a share can only reduce other cliques' loads).
+    """
+    b = capacity if capacity is not None else analysis.scenario.capacity
+    factor: Dict[str, float] = {fid: 1.0 for fid in shares}
+    for clique in analysis.cliques:
+        coeffs = analysis.clique_coefficients(clique)
+        load = sum(n * shares.get(fid, 0.0) for fid, n in coeffs.items())
+        if load > b + _GOVERNOR_TOL:
+            cap = b / load * _GOVERNOR_MARGIN
+            for fid in coeffs:
+                if fid in factor:
+                    factor[fid] = min(factor[fid], cap)
+    if all(f == 1.0 for f in factor.values()):
+        return dict(shares), False
+    return {fid: shares[fid] * factor[fid] for fid in shares}, True
+
+
+def degraded_allocation(allocator) -> AllocationResult:
+    """Conservative allocation for a partially converged 2PA-D run.
+
+    ``allocator`` is a :class:`~repro.core.distributed.DistributedAllocator`
+    whose views/convergence reflect a finished (possibly faulted)
+    propagation.  Confirmed flows keep the protocol's local-LP share;
+    unconfirmed flows are clamped to their global basic share; the
+    capacity governor then guarantees Eq. (6) for the mixture.
+    """
+    analysis = allocator.analysis
+    scenario = allocator.scenario
+    per_flow = allocator.convergence.get("per_flow", {})
+    basic = global_basic_shares(analysis)
+
+    shares: Dict[str, float] = {}
+    degraded: List[str] = []
+    for flow in scenario.flows:
+        fid = flow.flow_id
+        info = per_flow.get(fid, {})
+        if info.get("confirmed"):
+            try:
+                problem = allocator.problems.get(flow.source)
+                if problem is None:
+                    problem = allocator.solve_local(flow.source)
+                shares[fid] = problem.solution[f"r_{fid}"]
+                continue
+            except Exception as exc:
+                incr("resilience.degrade.lp_error")
+                _LOG.debug(
+                    "local LP at %r failed under degradation (%s); "
+                    "clamping flow %s to its basic share",
+                    flow.source, exc, fid,
+                )
+        shares[fid] = basic[fid]
+        degraded.append(fid)
+        incr("resilience.degrade.basic_clamp")
+
+    safe, clamped = enforce_clique_capacity(analysis, shares)
+    if clamped:
+        incr("resilience.degrade.capacity_clamp")
+        _LOG.debug("capacity governor rescaled a degraded allocation")
+    if degraded:
+        _LOG.debug("flows clamped to basic shares: %s", degraded)
+    return AllocationResult(
+        "distributed-degraded", safe, scenario.capacity
+    )
+
+
+class ResilientLPBackend:
+    """LP backend with a warm → cold-float → exact-Fraction fallback chain.
+
+    Usable anywhere a ``backend`` is accepted (it is a callable
+    ``LinearProgram -> LPSolution``)::
+
+        backend = ResilientLPBackend()
+        DistributedAllocator(scenario, backend=backend).run()
+
+    ``fallbacks`` counts demotions; the same number lands on the
+    ``resilience.lp.fallback`` counter of the active metrics registry.
+    """
+
+    def __init__(self, cache: Optional[WarmLPCache] = None) -> None:
+        self.cache = cache if cache is not None else WarmLPCache()
+        self.fallbacks = 0
+        #: Stage name -> times that stage produced the accepted solution.
+        self.served: Dict[str, int] = {"warm": 0, "cold": 0, "exact": 0}
+
+    # Stages are resolved late so tests can monkeypatch the underlying
+    # solvers to force demotions down the chain.
+    def _stages(self) -> List[Tuple[str, Callable[[LinearProgram],
+                                                  LPSolution]]]:
+        return [
+            ("warm", self.cache.solver),
+            ("cold", lambda lp: solve_simplex(lp)),
+            ("exact", self._solve_exact),
+        ]
+
+    @staticmethod
+    def _solve_exact(lp: LinearProgram) -> LPSolution:
+        from ..verify.exact_lp import solve_exact
+        from ..verify.oracles import _relaxed
+
+        solution = solve_exact(lp)
+        if solution.status == "infeasible":
+            # Float LP *data* can be exactly infeasible by one ulp (e.g. a
+            # pinned objective value rounded up past the rational optimum)
+            # even though the real-number LP is feasible; the float stages
+            # absorb that in their epsilons.  Re-solve with every bound
+            # slackened by 1e-9 — the same borderline handling the
+            # float-vs-exact oracle applies — so the exact stage behaves
+            # as a drop-in for a float backend.
+            relaxed = solve_exact(_relaxed(lp, 1e-9))
+            if relaxed.is_optimal:
+                incr("resilience.lp.exact_relaxed")
+                solution = relaxed
+        return solution.to_lp_solution()
+
+    @staticmethod
+    def _well_formed(solution: LPSolution) -> bool:
+        if solution.status not in ("optimal", "infeasible", "unbounded"):
+            return False
+        if solution.status == "optimal":
+            if not all(math.isfinite(v) for v in solution.values.values()):
+                return False
+            if not math.isfinite(solution.objective):
+                return False
+        return True
+
+    def __call__(self, lp: LinearProgram) -> LPSolution:
+        last_error: Optional[BaseException] = None
+        for name, fn in self._stages():
+            try:
+                solution = fn(lp)
+            except Exception as exc:
+                last_error = exc
+                solution = None
+            if solution is not None and self._well_formed(solution):
+                self.served[name] += 1
+                return solution
+            self.fallbacks += 1
+            incr("resilience.lp.fallback")
+            incr(f"resilience.lp.fallback.{name}")
+            _LOG.debug(
+                "LP backend stage %r failed (%s); falling back",
+                name,
+                last_error if last_error is not None else "malformed solution",
+            )
+        raise RuntimeError(
+            f"every LP backend stage failed; last error: {last_error!r}"
+        )

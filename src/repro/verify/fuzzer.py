@@ -114,11 +114,15 @@ class VerificationSuite:
         with_scipy: bool = False,
         fault: Optional[Callable[[Dict[str, float], float],
                                  Dict[str, float]]] = None,
+        faults: bool = False,
     ) -> None:
         self.brute_force_max_vertices = brute_force_max_vertices
         self.lp_tol = lp_tol
         self.with_scipy = with_scipy
         self.fault = fault
+        #: Also run each case under a random fault plan (lossy 2PA-D with
+        #: the resilience safety invariants) — ``repro verify --faults``.
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> List[CheckOutcome]:
@@ -200,6 +204,41 @@ class VerificationSuite:
                     f"{type(exc).__name__}: {exc}",
                 ))
         return out
+
+    # ------------------------------------------------------------------
+    def fault_outcomes(
+        self,
+        scenario: Scenario,
+        plan,
+        seed: int,
+        index: int,
+    ) -> List[CheckOutcome]:
+        """Run ``scenario`` under ``plan`` and check the safety invariants.
+
+        The lossy 2PA-D run (retry/backoff channel, degradation ladder)
+        comes from :func:`repro.resilience.campaign.run_chaos_case`; its
+        ``chaos.*`` checks are re-labelled ``faults.*`` here so the fuzz
+        report separates them from the fault-free differential oracles.
+        A fresh registry is built per call so the channel's fault streams
+        are a pure function of ``(seed, index)`` — shrinking re-runs make
+        byte-identical per-link decisions.
+        """
+        from ..resilience.campaign import run_chaos_case
+
+        registry = RngRegistry(seed)
+        with phase_timer("verify.faults"):
+            case = run_chaos_case(
+                scenario, plan, registry,
+                prefix=("verify", index, "faults", "channel"),
+            )
+        return [
+            CheckOutcome(
+                name.replace("chaos.", "faults.", 1),
+                PASS if ok else FAIL,
+                details,
+            )
+            for name, ok, details in case.checks
+        ]
 
     # ------------------------------------------------------------------
     def _allocation_checks(
@@ -392,6 +431,8 @@ class FuzzFailure:
     scenario: Dict[str, object]          # original (serialized)
     shrunk: Dict[str, object]            # minimal reproducer (serialized)
     reproducer_path: Optional[str] = None
+    #: Serialized (shrunk) fault plan for ``faults.*`` failures.
+    fault_plan: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -401,6 +442,7 @@ class FuzzFailure:
             "scenario": self.scenario,
             "shrunk": self.shrunk,
             "reproducer_path": self.reproducer_path,
+            "fault_plan": self.fault_plan,
         }
 
 
@@ -486,26 +528,60 @@ def _run_case(
     with phase_timer("verify.case"):
         scenario = generate_scenario(registry, index)
         outcomes = suite.run(scenario)
+        plan = None
+        if suite.faults:
+            from ..resilience.faults import FaultPlan
+
+            plan = FaultPlan.draw(
+                registry.stream(("verify", index, "faults")),
+                nodes=scenario.network.nodes,
+            )
+            outcomes = outcomes + suite.fault_outcomes(
+                scenario, plan, seed, index
+            )
     incr("verify.cases")
     failed = [o for o in outcomes if o.failed]
     if not failed:
         return outcomes, None
     first = failed[0]
+    faults_check = first.name.startswith("faults.")
+
+    def fails_with(candidate: Scenario, candidate_plan) -> bool:
+        if faults_check:
+            outs = suite.fault_outcomes(
+                candidate, candidate_plan, seed, index
+            )
+        else:
+            outs = suite.run(candidate)
+        return any(o.name == first.name and o.failed for o in outs)
 
     def still_fails(candidate: Scenario) -> bool:
-        return any(
-            o.name == first.name and o.failed
-            for o in suite.run(candidate)
-        )
+        return fails_with(candidate, plan)
 
     with phase_timer("verify.shrink"):
         minimal = shrink_scenario(scenario, still_fails)
+        if faults_check and plan is not None:
+            # Then shrink the fault plan itself (drop crash/flap events,
+            # zero rates) while the same check keeps failing.
+            progress = True
+            while progress:
+                progress = False
+                for candidate_plan in plan.shrink_candidates():
+                    try:
+                        if fails_with(minimal, candidate_plan):
+                            plan = candidate_plan
+                            progress = True
+                            break
+                    except Exception:
+                        continue
     failure = FuzzFailure(
         case=index,
         check=first.name,
         details=first.details,
         scenario=scenario_to_dict(scenario),
         shrunk=scenario_to_dict(minimal),
+        fault_plan=plan.to_dict() if faults_check and plan is not None
+        else None,
     )
     return outcomes, failure
 
@@ -525,6 +601,7 @@ def run_fuzz(
     with_scipy: bool = False,
     max_failures: int = 5,
     jobs: int = 1,
+    faults: bool = False,
 ) -> FuzzReport:
     """Run ``cases`` seeded scenarios through the verification suite.
 
@@ -539,12 +616,19 @@ def run_fuzz(
     case order and the early-stop tally is applied at merge time, so the
     report is bit-identical to the serial run.  ``jobs=0`` uses all
     cores.  Reproducer files are always written from this process.
+
+    ``faults=True`` additionally runs every case through lossy 2PA-D
+    under a fault plan drawn from stream ``("verify", i, "faults")`` and
+    asserts the resilience safety invariants (``faults.*`` checks); a
+    failing case's fault plan is shrunk alongside the scenario and lands
+    in the reproducer.
     """
     fault = inject_share_fault if inject_fault else None
     suite = VerificationSuite(
         brute_force_max_vertices=brute_force_max_vertices,
         with_scipy=with_scipy,
         fault=fault,
+        faults=faults,
     )
     report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault)
 
@@ -592,5 +676,7 @@ def _write_reproducer(
         "scenario": failure.shrunk,
         "original_scenario": failure.scenario,
     }
+    if failure.fault_plan is not None:
+        doc["fault_plan"] = failure.fault_plan
     path.write_text(json.dumps(doc, indent=2, sort_keys=True))
     return str(path)

@@ -1,0 +1,77 @@
+"""Regression: fuzzer-discovered 2PA-D clique overload (seed 0, case 8).
+
+First found by the chaos campaign (``repro verify --faults`` / the
+``chaos`` subcommand) during development: on case 8 of seed 0 the
+*fault-free* 2PA-D allocation violates Eq. (6).  Each source's local LP
+bounds the flows it knows about, but independently solved sources adopt
+mutually inconsistent assumptions about each other, and the summed
+shares overfill a shared clique by ~6%.  The resilient path
+(``channel=`` seam) now always finishes with the capacity governor
+(:func:`repro.resilience.degrade.enforce_clique_capacity`), which
+rescales exactly the overloaded cliques' members, so under *any* fault
+plan — including the lossless one stored here — the allocation satisfies
+Eq. (6).
+
+The scenario is the case-8 instance shrunk by the fuzzer to two flows
+and five nodes; the fault plan shrank all the way to lossless, which is
+the point: no faults are needed to trigger the bug.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import ContentionAnalysis, DistributedAllocator
+from repro.resilience import (
+    CONVERGED,
+    FaultInjector,
+    FaultPlan,
+    UnreliableChannel,
+    run_chaos_case,
+)
+from repro.scenarios.io import scenario_from_dict
+from repro.sim.rng import RngRegistry
+from repro.verify.invariants import check_clique_capacity
+
+REPRODUCER = (
+    Path(__file__).parent / "data"
+    / "verify-reproducer-s0-c8-faults.clique_capacity.json"
+)
+
+
+def load():
+    doc = json.loads(REPRODUCER.read_text())
+    assert doc["kind"] == "repro.verify/reproducer"
+    assert (doc["seed"], doc["case"]) == (0, 8)
+    return (
+        scenario_from_dict(doc["scenario"]),
+        FaultPlan.from_dict(doc["fault_plan"]),
+    )
+
+
+def test_scenario_still_exhibits_the_raw_overload():
+    """If this stops failing, the data file no longer pins the bug shape —
+    regenerate from seed 0 case 8 before weakening it."""
+    scenario, _plan = load()
+    analysis = ContentionAnalysis(scenario)
+    shares = DistributedAllocator(scenario, analysis=analysis).run().shares
+    assert not check_clique_capacity(analysis, shares).ok
+
+
+def test_resilient_path_restores_eq6():
+    scenario, plan = load()
+    assert plan.lossless
+    analysis = ContentionAnalysis(scenario)
+    channel = UnreliableChannel(
+        FaultInjector(plan, RngRegistry(0), prefix=("regression", "c8"))
+    )
+    result = DistributedAllocator(
+        scenario, analysis=analysis, channel=channel
+    ).run()
+    assert check_clique_capacity(analysis, result.shares).ok
+
+
+def test_chaos_case_passes_end_to_end():
+    scenario, plan = load()
+    case = run_chaos_case(scenario, plan, RngRegistry(0))
+    assert case.ok, case.failed_checks()
+    assert case.status == CONVERGED

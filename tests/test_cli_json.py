@@ -139,7 +139,8 @@ class TestVerifyCli:
         assert doc["kind"] == "verify"
         assert doc["scenario"] == "random-fuzz"
         assert doc["seed"] == 0
-        assert doc["config"] == {"cases": 5, "inject_fault": False}
+        assert doc["config"] == {"cases": 5, "inject_fault": False,
+                                 "faults": False}
         assert doc["results"]["ok"] is True
         assert doc["results"]["failures"] == []
         counters = doc["metrics"]["counters"]

@@ -5,6 +5,9 @@ import pytest
 from repro.core import (
     ContentionAnalysis,
     DistributedAllocator,
+    Flow,
+    Network,
+    Scenario,
     run_centralized,
     run_distributed,
     satisfies_basic_fairness,
@@ -123,6 +126,82 @@ class TestDistributedAllocation:
         a = run_distributed(fig6.make_scenario()).shares
         b = run_distributed(fig6.make_scenario()).shares
         assert a == b
+
+
+def _line_scenario(path, name, extra_flows=()):
+    """Nodes 200 m apart on a line (250 m range), one flow down ``path``."""
+    nodes = sorted({n for n in path} | {n for f in extra_flows for n in f})
+    positions = {n: (200.0 * i, 0.0) for i, n in enumerate(sorted(nodes))}
+    network = Network.from_positions(positions, tx_range=250.0)
+    flows = [Flow("1", list(path), 1.0)]
+    flows += [Flow(str(i + 2), list(p), 1.0)
+              for i, p in enumerate(extra_flows)]
+    return Scenario(network, flows, name=name, capacity=1.0)
+
+
+class TestDegeneratePaths:
+    """Path lengths 1–2 exercise the propagation loop's edge cases: a
+    single-hop flow has no downstream node to gossip with, and a 2-hop
+    flow's source already holds every constraint after one exchange."""
+
+    def test_single_one_hop_flow_gets_full_capacity(self):
+        scenario = _line_scenario("AB", "one-hop")
+        result = run_distributed(scenario)
+        assert result.share("1") == pytest.approx(1.0)
+        assert result.strategy == "distributed-local-lp"
+
+    def test_single_two_hop_flow_gets_half_capacity(self):
+        # F1.1 and F1.2 share the relay, so the clique {F1.1, F1.2}
+        # bounds the end-to-end share at B/2.
+        scenario = _line_scenario("ABC", "two-hop")
+        result = run_distributed(scenario)
+        assert result.share("1") == pytest.approx(0.5)
+
+    def test_one_hop_flow_converges_in_zero_exchanges(self):
+        scenario = _line_scenario("AB", "one-hop")
+        allocator = DistributedAllocator(scenario)
+        allocator.run()
+        conv = allocator.convergence
+        assert conv["status"] == "converged"
+        assert conv["rounds_per_flow"]["1"] <= 1
+        view = allocator.views["A"]
+        assert {sid.flow for sid in view.known} == {"1"}
+
+    def test_degenerate_paths_match_centralized(self):
+        for path in ("AB", "ABC"):
+            scenario = _line_scenario(path, f"line-{len(path) - 1}hop")
+            dist = run_distributed(scenario)
+            cent = run_centralized(scenario)
+            assert dist.share("1") == pytest.approx(cent.share("1"),
+                                                    abs=1e-9), path
+
+    def test_one_hop_contending_with_two_hop(self):
+        # Flow 2 (C->D->E) contends with flow 1 (A->B) at B/C; virtual
+        # lengths are 1 and 2, so basic shares are 1/3 each and the
+        # lexicographic optimum lifts the short flow.
+        scenario = _line_scenario("AB", "mixed", extra_flows=["CDE"])
+        result = run_distributed(scenario)
+        assert satisfies_basic_fairness(result.shares, scenario.flows)
+        analysis = ContentionAnalysis(scenario)
+        for clique in analysis.cliques:
+            coeffs = analysis.clique_coefficients(clique)
+            load = sum(n * result.share(f) for f, n in coeffs.items())
+            assert load <= scenario.capacity + 1e-9
+
+    def test_degenerate_paths_unchanged_by_lossless_channel(self):
+        from repro.resilience import FaultInjector, FaultPlan, UnreliableChannel
+        from repro.sim.rng import RngRegistry
+
+        for path in ("AB", "ABC"):
+            scenario = _line_scenario(path, f"line-{len(path) - 1}hop")
+            plain = DistributedAllocator(scenario).run().shares
+            channel = UnreliableChannel(FaultInjector(
+                FaultPlan(), RngRegistry(0), prefix=("degenerate", path)
+            ))
+            resilient = DistributedAllocator(
+                scenario, channel=channel
+            ).run().shares
+            assert resilient == plain, path
 
 
 class TestCentralizedCoordinator:
