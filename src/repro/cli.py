@@ -13,6 +13,10 @@ Subcommands::
     chaos                 fault-injection campaign: lossy 2PA-D across a
                           loss-rate x crash-schedule grid with safety
                           invariants checked on every run
+    churn                 long-lived runtime campaign: seeded churn
+                          timelines through the epoch-based allocator
+                          runtime (admission control, checkpoints, a
+                          mid-timeline crash + restore differential)
     all                   everything above with default settings
 
 Observability flags (on ``table1``/``table2``/``table3``/``ablation``/
@@ -135,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run every case through lossy 2PA-D under a "
                         "seeded fault plan and check the resilience "
                         "safety invariants")
+    p.add_argument("--churn", action="store_true",
+                   help="also run every case through the long-lived "
+                        "runtime under a seeded churn timeline and check "
+                        "the churn safety invariants (failures shrink "
+                        "the timeline)")
     _add_obs_flags(p)
 
     p = sub.add_parser(
@@ -158,6 +167,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="channel round budget per flow (default 256)")
     p.add_argument("--inject-fault", action="store_true",
                    help="perturb every degraded allocation to prove the "
+                        "safety checkers catch a bad allocation")
+    _add_obs_flags(p)
+
+    p = sub.add_parser(
+        "churn",
+        help="long-lived runtime campaign: seeded churn timelines "
+             "through the epoch-based allocator runtime, safety "
+             "invariants and a crash + restore differential per case",
+    )
+    p.add_argument("--cases", type=int, default=30,
+                   help="number of seeded churn timelines (default 30)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for scenario + timeline streams "
+                        "(default 0)")
+    p.add_argument("--loss", metavar="RATES", default="0,0.2",
+                   help="comma-separated message loss rates; a lossy "
+                        "rate runs epochs through 2PA-D over the "
+                        "unreliable channel (default 0,0.2)")
+    p.add_argument("--epochs", type=int, default=10,
+                   help="epochs per timeline (default 10)")
+    p.add_argument("--crash-prob", type=float, default=0.0,
+                   help="per-node crash probability per lossy epoch's "
+                        "fault plan (default 0)")
+    p.add_argument("--hysteresis", type=float, default=0.3,
+                   help="max fractional per-epoch change of a flow's "
+                        "allocation; 0 disables damping (default 0.3)")
+    p.add_argument("--no-crash-restore", action="store_true",
+                   help="skip the per-case mid-timeline crash + restore "
+                        "differential (faster)")
+    p.add_argument("--inject-fault", action="store_true",
+                   help="perturb every final allocation to prove the "
                         "safety checkers catch a bad allocation")
     _add_obs_flags(p)
 
@@ -320,6 +360,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 with_scipy=args.with_scipy,
                 jobs=args.jobs,
                 faults=args.faults,
+                churn=args.churn,
             )
             reports.append(report)
             return report.render(), "random-fuzz", report.to_dict()
@@ -327,7 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = _run_observed(
             args, "verify", args.seed,
             {"cases": args.cases, "inject_fault": args.inject_fault,
-             "faults": args.faults},
+             "faults": args.faults, "churn": args.churn},
             verify_payload,
         )
         if code != 0:
@@ -368,6 +409,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         ok = chaos_reports[0].ok
         # With an injected fault the campaign is healthy only if the
         # safety checkers *caught* something (same inversion as verify).
+        return (0 if not ok else 1) if args.inject_fault else (0 if ok
+                                                               else 1)
+    if args.command == "churn":
+        from .resilience import run_churn
+
+        churn_reports: List[object] = []
+        churn_rates = [
+            float(r) for r in args.loss.split(",") if r.strip() != ""
+        ]
+        hysteresis = args.hysteresis if args.hysteresis > 0.0 else None
+
+        def churn_payload(tracer: Tracer) -> _Payload:
+            report = run_churn(
+                cases=args.cases,
+                seed=args.seed,
+                loss_rates=churn_rates,
+                epochs=args.epochs,
+                crash_prob=args.crash_prob,
+                hysteresis=hysteresis,
+                inject_fault=args.inject_fault,
+                crash_restore=not args.no_crash_restore,
+            )
+            churn_reports.append(report)
+            return report.render(), "random-churn", report.to_dict()
+
+        code = _run_observed(
+            args, "churn", args.seed,
+            {"cases": args.cases, "loss_rates": churn_rates,
+             "epochs": args.epochs, "crash_prob": args.crash_prob,
+             "hysteresis": hysteresis,
+             "inject_fault": args.inject_fault},
+            churn_payload,
+        )
+        if code != 0:
+            return code
+        if not churn_reports:
+            return 1
+        ok = churn_reports[0].ok
+        # Same inversion as chaos: with an injected fault the campaign
+        # is healthy only if the safety checkers caught something.
         return (0 if not ok else 1) if args.inject_fault else (0 if ok
                                                                else 1)
     if args.command == "show":

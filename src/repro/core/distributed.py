@@ -400,10 +400,14 @@ class DistributedAllocator:
                 # bound each source's view but do not globally prevent a
                 # clique from being oversubscribed by independently
                 # solved sources, so run the capacity governor here too.
-                from ..resilience.degrade import enforce_clique_capacity
+                from ..resilience.degrade import (
+                    enforce_clique_capacity,
+                    global_basic_shares,
+                )
 
                 safe, clamped = enforce_clique_capacity(
-                    self.analysis, self._shares
+                    self.analysis, self._shares,
+                    floors=global_basic_shares(self.analysis),
                 )
                 if clamped:
                     self._shares = safe

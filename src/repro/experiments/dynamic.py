@@ -12,6 +12,16 @@ The headline property: while an interfering flow is active, the remaining
 flows' measured rates track the *recomputed* shares, and after it leaves
 they climb back to the richer allocation — without restarting the MAC or
 losing queued packets.
+
+Re-allocation is delegated to the long-lived
+:class:`~repro.resilience.runtime.AllocatorRuntime`: each membership
+change becomes one epoch (diffed into flow-up/flow-down events by
+:meth:`AllocatorRuntime.set_active`), which carries the same fast paths
+this experiment used to wire by hand — incremental contention, warm LP
+starts, per-active-set memoization — plus per-epoch Eq. (6)/basic-floor
+validation.  Allocations are bit-identical to the old ad-hoc loop: the
+runtime solves the same LP on the same incremental analysis in the same
+order.
 """
 
 from __future__ import annotations
@@ -19,14 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.allocation import basic_fairness_lp_allocation
-from ..core.contention import ContentionAnalysis
 from ..core.model import Flow, Scenario, SubflowId
 from ..mac import MacTimings
 from ..mac.policies import FairBackoffPolicy
-from ..obs.registry import incr
-from ..perf.incremental import IncrementalContention
-from ..perf.warm import WarmLPCache
+from ..resilience.runtime import AllocatorRuntime, RuntimeConfig
 from ..sched.runner import SimulationRun, TrafficConfig
 from ..traffic.cbr import US
 
@@ -81,22 +87,19 @@ class DynamicAllocationExperiment:
         self.scenario = scenario
         self.schedules = by_id
         self.alpha = alpha
-        # Re-allocation fast path: contention structure is maintained
-        # incrementally across membership changes and LP re-solves are
-        # warm-started from the previous basis.  Both paths produce
-        # bit-identical allocations to the cold rebuild (asserted in
-        # tests/test_perf_incremental.py), so they default on; the flags
-        # exist for A/B benchmarking and belt-and-braces fallback.
-        self._contention = (
-            IncrementalContention(scenario) if incremental else None
-        )
-        self._warm_lp = WarmLPCache() if warm_lp else None
-        # Arrival/departure timelines revisit active sets (a flow leaves
-        # and the set returns to its previous state); the allocation for
-        # a given active set is deterministic, so it is memoized outright.
-        self._alloc_memo: Optional[Dict[frozenset, Dict[str, float]]] = (
-            {} if memo_allocations else None
-        )
+        # Re-allocation fast paths (incremental contention, warm LP
+        # starts, per-active-set memoization) live inside the runtime;
+        # both paths produce bit-identical allocations to a cold rebuild
+        # (asserted in tests/test_perf_incremental.py), so they default
+        # on and the flags exist for A/B benchmarking.  Admission is off:
+        # the schedule decides membership, not the controller.
+        self.runtime = AllocatorRuntime(scenario, RuntimeConfig(
+            seed=seed,
+            admission=False,
+            incremental=incremental,
+            warm_lp=warm_lp,
+            memo=memo_allocations,
+        ))
 
         # All queues exist up front; shares start from the full-set
         # allocation and are re-pushed at every membership change.
@@ -119,33 +122,8 @@ class DynamicAllocationExperiment:
 
     # ------------------------------------------------------------------
     def _allocate(self, active_ids: Sequence[str]) -> Dict[str, float]:
-        """Phase 1 on the currently active flow subset."""
-        active = [f for f in self.scenario.flows
-                  if f.flow_id in set(active_ids)]
-        if not active:
-            return {}
-        memo_key = frozenset(f.flow_id for f in active)
-        if self._alloc_memo is not None and memo_key in self._alloc_memo:
-            incr("perf.dynamic.memo_hits")
-            return dict(self._alloc_memo[memo_key])
-        if self._contention is not None:
-            analysis = self._contention.analysis_for(
-                [f.flow_id for f in active],
-                name=f"{self.scenario.name}-active",
-            )
-        else:
-            sub_scenario = Scenario(
-                self.scenario.network, active,
-                name=f"{self.scenario.name}-active",
-                capacity=self.scenario.capacity,
-            )
-            analysis = ContentionAnalysis(sub_scenario)
-        backend = (self._warm_lp.solver if self._warm_lp is not None
-                   else "simplex")
-        result = basic_fairness_lp_allocation(analysis, backend=backend)
-        if self._alloc_memo is not None:
-            self._alloc_memo[memo_key] = dict(result.shares)
-        return dict(result.shares)
+        """Phase 1 on the currently active flow subset (one epoch)."""
+        return self.runtime.set_active(active_ids)
 
     def _push_allocation(self, allocated: Dict[str, float]) -> None:
         """Broadcast the new strategy into every sender's policy."""

@@ -142,6 +142,48 @@ class IncrementalContention:
         self.set_active(flow_ids)
         return self.analysis(name=name)
 
+    @property
+    def full_graph(self) -> Graph:
+        """The pairwise contention graph over every known flow."""
+        return self._full
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def export_component_cliques(self) -> List[dict]:
+        """JSON-ready dump of the per-component clique cache, LRU order
+        preserved (a restored runtime must reproduce the same eviction
+        behaviour as one that never crashed)."""
+        return [
+            {
+                "component": sorted([s.flow, s.hop] for s in key),
+                "cliques": [
+                    sorted([s.flow, s.hop] for s in clique)
+                    for clique in cliques
+                ],
+            }
+            for key, cliques in self._component_cliques.items()
+        ]
+
+    def seed_component_cliques(self, entries: Iterable[dict]) -> None:
+        """Pre-populate the clique cache from an exported dump.
+
+        Value-neutral by construction: a wrong or missing entry merely
+        costs a re-enumeration (cache misses recompute from the graph),
+        it can never change an analysis result.
+        """
+        for entry in entries:
+            key = frozenset(
+                SubflowId(str(f), int(h)) for f, h in entry["component"]
+            )
+            self._component_cliques[key] = [
+                frozenset(SubflowId(str(f), int(h)) for f, h in clique)
+                for clique in entry["cliques"]
+            ]
+            self._component_cliques.move_to_end(key)
+            while len(self._component_cliques) > self.max_cached_components:
+                self._component_cliques.popitem(last=False)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -96,6 +96,51 @@ class WarmLPCache:
         while len(self._bases) > self.max_entries:
             self._bases.popitem(last=False)
 
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> dict:
+        """JSON-ready snapshot of both basis maps, LRU order preserved.
+
+        Hit/miss counters are deliberately excluded: they are run-local
+        telemetry, and a restored runtime must produce a byte-identical
+        state dump to one that never crashed.
+        """
+        def sig(key):
+            vars_sig, cons_sig = key
+            return [list(vars_sig), [list(c) for c in cons_sig]]
+
+        def basis(b):
+            return [[label, index] for label, index in b]
+
+        return {
+            "bases": [
+                [sig(key), basis(b)] for key, b in self._bases.items()
+            ],
+            "latest": [
+                [list(vars_sig), [list(c) for c in cons_sig], basis(b)]
+                for vars_sig, (cons_sig, b) in self._latest.items()
+            ],
+        }
+
+    def load_state(self, doc: dict) -> None:
+        """Rebuild the cache from :meth:`dump_state` output."""
+        def basis(entry):
+            return tuple((str(label), int(index)) for label, index in entry)
+
+        self._bases.clear()
+        self._latest.clear()
+        for (vars_doc, cons_doc), basis_doc in doc.get("bases", []):
+            key = (
+                tuple(str(v) for v in vars_doc),
+                tuple(tuple(str(v) for v in c) for c in cons_doc),
+            )
+            self._bases[key] = basis(basis_doc)
+        for vars_doc, cons_doc, basis_doc in doc.get("latest", []):
+            vars_sig = tuple(str(v) for v in vars_doc)
+            cons_sig = tuple(tuple(str(v) for v in c) for c in cons_doc)
+            self._latest[vars_sig] = (cons_sig, basis(basis_doc))
+
     def solver(self, lp: LinearProgram) -> LPSolution:
         """Backend callable: warm-started simplex with basis memoization.
 

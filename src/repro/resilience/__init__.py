@@ -1,4 +1,4 @@
-"""``repro.resilience``: fault injection, lossy 2PA-D, graceful degradation.
+"""``repro.resilience``: faults, lossy 2PA-D, degradation, long-lived runtime.
 
 The distributed phase-1 protocol (Sec. IV-B) is specified over an
 idealized exchange; this package makes the reproduction breakable on
@@ -14,15 +14,38 @@ purpose — and trustworthy anyway:
   (``converged`` / ``converged-partial`` / ``timed-out``);
 * :mod:`~repro.resilience.degrade` — the graceful-degradation ladder
   (local LP for confirmed flows, basic-share clamp for unconfirmed ones,
-  a clique-capacity governor for the mixture) and the LP fallback chain
-  warm float simplex → cold float simplex → exact-Fraction solver;
-* :mod:`~repro.resilience.campaign` — chaos campaigns sweeping loss
-  rates x crash schedules with the paper's safety invariants checked on
-  every run.
+  a floor-aware clique-capacity governor for the mixture) and the LP
+  fallback chain warm float simplex → cold float simplex →
+  exact-Fraction solver;
+* :mod:`~repro.resilience.epochs` — seeded, serializable, shrinkable
+  churn timelines (link up/down, node crash/rejoin, flow
+  arrival/departure) partitioned into epochs;
+* :mod:`~repro.resilience.runtime` — the long-lived
+  :class:`AllocatorRuntime` that consumes a timeline epoch by epoch:
+  topology diffing, DSR route repair, admission control, hysteresis
+  damping, per-epoch invariant validation, crash-consistent
+  checkpoints;
+* :mod:`~repro.resilience.admission` — the Sec. II-D admission
+  predicate (admit only if every active flow keeps its basic floor
+  under Eq. (6)) and the queue/reject controller;
+* :mod:`~repro.resilience.checkpoint` — atomic, checksummed,
+  schema-versioned snapshots with typed load failures;
+* :mod:`~repro.resilience.campaign` — chaos campaigns (fault plans) and
+  churn campaigns (timelines, with a mid-timeline crash + restore
+  differential) with the paper's safety invariants checked on every run.
 
-CLI: ``repro-experiments chaos --cases 50 --seed 0 --loss 0,0.1,0.3``.
+CLI: ``repro-experiments chaos --cases 50 --seed 0 --loss 0,0.1,0.3``
+and ``repro-experiments churn --cases 30 --epochs 10 --loss 0,0.2``.
 """
 
+from .admission import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    AdmissionDecision,
+    basic_share_feasible,
+)
 from .channel import (
     CONVERGED,
     CONVERGED_PARTIAL,
@@ -31,12 +54,21 @@ from .channel import (
     UnreliableChannel,
     worst_status,
 )
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointSchemaError,
+    SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .degrade import (
     ResilientLPBackend,
     degraded_allocation,
     enforce_clique_capacity,
     global_basic_shares,
 )
+from .epochs import ChurnEvent, ChurnTimeline
 from .faults import (
     FaultInjector,
     FaultPlan,
@@ -44,33 +76,61 @@ from .faults import (
     LinkFlap,
     NodeCrash,
 )
+from .runtime import AllocatorRuntime, EpochRecord, RuntimeConfig
 from .campaign import (
     CaseChecks,
     ChaosReport,
     ChaosViolation,
+    ChurnCase,
+    ChurnReport,
+    ChurnViolation,
     run_chaos,
     run_chaos_case,
+    run_churn,
+    run_churn_case,
 )
 
 __all__ = [
+    "ADMIT",
+    "QUEUE",
+    "REJECT",
+    "AdmissionController",
+    "AdmissionDecision",
+    "basic_share_feasible",
     "CONVERGED",
     "CONVERGED_PARTIAL",
     "TIMED_OUT",
     "ChannelStats",
     "UnreliableChannel",
     "worst_status",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointSchemaError",
+    "SCHEMA_VERSION",
+    "load_checkpoint",
+    "save_checkpoint",
     "ResilientLPBackend",
     "degraded_allocation",
     "enforce_clique_capacity",
     "global_basic_shares",
+    "ChurnEvent",
+    "ChurnTimeline",
     "FaultInjector",
     "FaultPlan",
     "LinkFaults",
     "LinkFlap",
     "NodeCrash",
+    "AllocatorRuntime",
+    "EpochRecord",
+    "RuntimeConfig",
     "CaseChecks",
     "ChaosReport",
     "ChaosViolation",
+    "ChurnCase",
+    "ChurnReport",
+    "ChurnViolation",
     "run_chaos",
     "run_chaos_case",
+    "run_churn",
+    "run_churn_case",
 ]

@@ -1,0 +1,173 @@
+"""Admission control: gate flow arrivals on the basic-share floor.
+
+The paper guarantees (Sec. II-D) that the **basic shares**
+``r̂_i = w_i B / Σ_j w_j v_j`` of a contending flow group are jointly
+feasible — every maximal clique satisfies Eq. (6) when each member flow
+transmits exactly its basic share.  That guarantee is what admission
+control protects: a new flow is **admitted** only if, with the candidate
+included, the global basic shares of *all* active flows (existing and
+new) still satisfy every clique-capacity constraint.  Then every
+existing flow provably keeps at least its floor whatever the allocator
+later optimizes, because the floor allocation itself remains feasible.
+
+A flow failing the predicate is **rejected**, or **queued** for retry at
+later epochs when the controller keeps a waiting list (departures and
+healed links free capacity).  Every decision carries a machine-readable
+``reason``; the full decision log lands in the run artifact so a
+rejected flow is never silently dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional
+
+from ..core.contention import ContentionAnalysis
+from ..obs.registry import incr
+from .degrade import global_basic_shares
+
+__all__ = [
+    "ADMIT",
+    "REJECT",
+    "QUEUE",
+    "AdmissionDecision",
+    "AdmissionController",
+    "basic_share_feasible",
+]
+
+ADMIT, REJECT, QUEUE = "admit", "reject", "queue"
+
+#: Machine-readable reason codes (the ``reason`` field of a decision).
+REASON_OK = "ok"
+REASON_FLOOR = "basic-floor-infeasible"
+REASON_UNROUTABLE = "unroutable"
+REASON_ENDPOINT_DOWN = "endpoint-down"
+REASON_QUEUE_FULL = "queue-full"
+
+#: Same tolerance the Eq. (6) checker applies, so admission never
+#: rejects a candidate whose floor allocation the checker would accept.
+_FLOOR_TOL = 1e-9
+
+
+def basic_share_feasible(
+    analysis: ContentionAnalysis,
+    capacity: Optional[float] = None,
+    tol: float = _FLOOR_TOL,
+) -> bool:
+    """Eq. (6) over the global basic shares of ``analysis``'s flows.
+
+    True iff every maximal clique can carry all member flows at their
+    Sec. II-D basic share simultaneously — the admission predicate, with
+    the candidate flow already part of the analysis.
+    """
+    b = capacity if capacity is not None else analysis.scenario.capacity
+    floors = global_basic_shares(analysis)
+    for clique in analysis.cliques:
+        coeffs = analysis.clique_coefficients(clique)
+        load = sum(n * floors.get(fid, 0.0) for fid, n in coeffs.items())
+        if load > b + tol:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission verdict, machine-readable and artifact-ready."""
+
+    flow_id: str
+    epoch: int
+    action: str  # admit | reject | queue
+    reason: str
+    details: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "flow": self.flow_id,
+            "epoch": self.epoch,
+            "action": self.action,
+            "reason": self.reason,
+            "details": self.details,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Owns the waiting queue and the decision log of one runtime.
+
+    The controller is deliberately ignorant of topology: the runtime
+    hands it a verdict ``reason`` (computed by probing routing and the
+    admission predicate on the current epoch's topology) and the
+    controller turns it into an admit/reject/queue decision, maintains
+    FIFO retry order, and counts ``admission.{admit,reject,queue}``.
+
+    ``queue_rejected=False`` turns every non-admit into a hard reject —
+    the mode for callers that have no later epoch to retry in.
+    """
+
+    enabled: bool = True
+    queue_rejected: bool = True
+    max_queue: int = 32
+    waiting: Deque[str] = field(default_factory=deque)
+    decisions: List[AdmissionDecision] = field(default_factory=list)
+
+    def decide(self, flow_id: str, epoch: int, reason: str,
+               details: str = "") -> AdmissionDecision:
+        """Record the verdict for one candidate and return the decision."""
+        if not self.enabled or reason == REASON_OK:
+            decision = AdmissionDecision(flow_id, epoch, ADMIT,
+                                         REASON_OK, details)
+        elif self.queue_rejected and flow_id not in self.waiting:
+            if len(self.waiting) < self.max_queue:
+                self.waiting.append(flow_id)
+                decision = AdmissionDecision(flow_id, epoch, QUEUE,
+                                             reason, details)
+            else:
+                decision = AdmissionDecision(
+                    flow_id, epoch, REJECT, REASON_QUEUE_FULL,
+                    f"queue full ({self.max_queue}); original reason: "
+                    f"{reason}",
+                )
+        else:
+            decision = AdmissionDecision(flow_id, epoch, REJECT,
+                                         reason, details)
+        self.decisions.append(decision)
+        incr(f"admission.{decision.action}")
+        return decision
+
+    def readmit(self, flow_id: str, epoch: int,
+                details: str = "readmitted from queue") -> AdmissionDecision:
+        """Admit a previously queued flow whose predicate now passes."""
+        self.drop_waiting(flow_id)
+        decision = AdmissionDecision(flow_id, epoch, ADMIT, REASON_OK,
+                                     details)
+        self.decisions.append(decision)
+        incr(f"admission.{ADMIT}")
+        return decision
+
+    def drop_waiting(self, flow_id: str) -> None:
+        """Forget a queued flow (it departed before ever being admitted)."""
+        try:
+            self.waiting.remove(flow_id)
+        except ValueError:
+            pass
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable controller state for checkpoints."""
+        return {
+            "waiting": list(self.waiting),
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+    def restore(self, doc: Mapping[str, object]) -> None:
+        self.waiting = deque(str(f) for f in doc.get("waiting", []))
+        self.decisions = [
+            AdmissionDecision(
+                flow_id=str(d["flow"]),
+                epoch=int(d["epoch"]),
+                action=str(d["action"]),
+                reason=str(d["reason"]),
+                details=str(d.get("details", "")),
+            )
+            for d in doc.get("decisions", [])
+        ]

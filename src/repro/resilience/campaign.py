@@ -26,6 +26,9 @@ emits the result as a :mod:`repro.obs` run artifact.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -40,18 +43,31 @@ from ..verify.invariants import (
     check_clique_capacity,
 )
 from .channel import CONVERGED, STATUS_ORDER, UnreliableChannel
-from .degrade import ResilientLPBackend, enforce_clique_capacity
+from .degrade import (
+    ResilientLPBackend,
+    enforce_clique_capacity,
+    global_basic_shares,
+)
+from .admission import ADMIT, REASON_OK
+from .epochs import ChurnTimeline
 from .faults import FaultInjector, FaultPlan
+from .runtime import AllocatorRuntime, RuntimeConfig
 
 __all__ = [
     "CaseChecks",
     "ChaosViolation",
     "ChaosReport",
+    "ChurnCase",
+    "ChurnViolation",
+    "ChurnReport",
     "run_chaos_case",
     "run_chaos",
+    "run_churn_case",
+    "run_churn",
 ]
 
 DEFAULT_LOSS_RATES = (0.0, 0.1, 0.3)
+DEFAULT_CHURN_LOSS_RATES = (0.0, 0.2)
 
 
 @dataclass
@@ -138,6 +154,7 @@ def run_chaos_case(
         healed_shares, _clamped = enforce_clique_capacity(
             analysis,
             DistributedAllocator(scenario, analysis=analysis).run().shares,
+            floors=global_basic_shares(analysis),
         )
     res = check_basic_fairness(analysis, healed_shares)
     checks.append(("chaos.healed_basic_fairness", res.ok, res.details))
@@ -284,6 +301,7 @@ def run_chaos(
         healed, _clamped = enforce_clique_capacity(
             analysis,
             DistributedAllocator(scenario, analysis=analysis).run().shares,
+            floors=global_basic_shares(analysis),
         )
         for loss in rates:
             plan = FaultPlan.draw(
@@ -311,6 +329,357 @@ def run_chaos(
                     details=details,
                     scenario=scenario_to_dict(scenario),
                     fault_plan=plan.to_dict(),
+                ))
+            if len(report.violations) >= max_violations:
+                return report
+    return report
+
+
+# ----------------------------------------------------------------------
+# Churn campaigns: the long-lived runtime under seeded timelines
+# ----------------------------------------------------------------------
+
+#: Per-epoch solver statuses from most to least healthy; a case reports
+#: the worst status any of its committed epochs produced.
+_EPOCH_SEVERITY = (
+    "empty", "converged", "converged-partial", "timed-out",
+    "fallback-basic",
+)
+
+
+def _worst_epoch_status(statuses: Sequence[str]) -> str:
+    worst = "empty"
+    for status in statuses:
+        rank = (_EPOCH_SEVERITY.index(status)
+                if status in _EPOCH_SEVERITY else len(_EPOCH_SEVERITY))
+        if rank > _EPOCH_SEVERITY.index(worst):
+            worst = status if status in _EPOCH_SEVERITY else status
+            if status not in _EPOCH_SEVERITY:
+                return status
+    return worst
+
+
+class _SimulatedCrash(BaseException):
+    """Raised by the crash hook; BaseException so no handler eats it."""
+
+
+@dataclass
+class ChurnCase(CaseChecks):
+    """One churn case: :class:`CaseChecks` plus journal aggregates."""
+
+    epochs_run: int = 0
+    epoch_statuses: Dict[str, int] = field(default_factory=dict)
+    admissions: Dict[str, int] = field(default_factory=dict)
+
+
+def _canonical_state(runtime: AllocatorRuntime) -> str:
+    return json.dumps(runtime.state_payload(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def run_churn_case(
+    scenario: Scenario,
+    timeline: ChurnTimeline,
+    seed: int = 0,
+    loss: float = 0.0,
+    crash_prob: float = 0.0,
+    hysteresis: Optional[float] = None,
+    stream_prefix: Tuple = ("churn",),
+    fault: Optional[Callable[[Dict[str, float], float],
+                             Dict[str, float]]] = None,
+    crash_restore: bool = True,
+    mode: Optional[str] = None,
+) -> ChurnCase:
+    """One scenario through one churn timeline, checked end to end.
+
+    The runtime runs the whole timeline (``mode`` defaults to
+    distributed 2PA-D when the channel is lossy, centralized otherwise),
+    then five properties are checked:
+
+    * ``churn.no_raise`` — the runtime survives the timeline;
+    * ``churn.epoch_checks`` — every committed epoch's recorded Eq. (6)
+      and basic-floor checks passed;
+    * ``churn.admission_reasoned`` — every non-admit decision carries a
+      machine-readable reason;
+    * ``churn.final_clique_capacity`` / ``churn.final_basic_floor`` —
+      the final allocation re-checked from scratch (the ``fault`` hook
+      perturbs it first when the harness itself is under test);
+    * ``churn.crash_restore_identical`` — a second runtime is crashed
+      mid-timeline (after epoch ``epochs // 2`` is staged but before it
+      commits), restored from its last checkpoint, and resumed; its
+      final state payload must be *bitwise identical* to the
+      uninterrupted run's.
+    """
+    if mode is None:
+        mode = "distributed" if (loss > 0.0 or crash_prob > 0.0) \
+            else "centralized"
+
+    def config(checkpoint_path: Optional[str] = None) -> RuntimeConfig:
+        return RuntimeConfig(
+            seed=seed, mode=mode, hysteresis=hysteresis, loss=loss,
+            crash_prob=crash_prob, stream_prefix=stream_prefix,
+            checkpoint_path=checkpoint_path,
+        )
+
+    checks: List[Tuple[str, bool, str]] = []
+    runtime = AllocatorRuntime(scenario, config())
+    try:
+        with phase_timer("runtime.case"):
+            runtime.run_timeline(timeline)
+    except Exception as exc:
+        incr("runtime.case_raised")
+        return ChurnCase(
+            status="raised",
+            checks=[("churn.no_raise", False,
+                     f"{type(exc).__name__}: {exc}")],
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    checks.append(("churn.no_raise", True, ""))
+
+    epoch_fails = [
+        f"epoch {r.epoch}: {name} ({details})"
+        for r in runtime.journal
+        for name, ok, details in r.checks if not ok
+    ]
+    checks.append(("churn.epoch_checks", not epoch_fails,
+                   "; ".join(epoch_fails[:3])))
+
+    unreasoned = sorted({
+        d.flow_id for d in runtime.admission.decisions
+        if d.action != ADMIT and (not d.reason or d.reason == REASON_OK)
+    })
+    checks.append((
+        "churn.admission_reasoned", not unreasoned,
+        "" if not unreasoned
+        else f"non-admit decisions without a reason: {unreasoned}",
+    ))
+
+    analysis = runtime.current_analysis()
+    shares = dict(runtime.shares)
+    if fault is not None and shares:
+        shares = fault(shares, scenario.capacity)
+    res = check_clique_capacity(analysis, shares)
+    checks.append(("churn.final_clique_capacity", res.ok, res.details))
+    res = check_basic_fairness(analysis, shares)
+    checks.append(("churn.final_basic_floor", res.ok, res.details))
+
+    if crash_restore and timeline.epochs >= 2:
+        crash_epoch = max(1, timeline.epochs // 2)
+        with tempfile.TemporaryDirectory() as tmp:
+            ck = os.path.join(tmp, "checkpoint.json")
+            crashed = AllocatorRuntime(scenario, config(ck))
+
+            def hook(point: str, epoch: int) -> None:
+                if point == "staged" and epoch == crash_epoch:
+                    raise _SimulatedCrash()
+
+            crashed.crash_hook = hook
+            try:
+                crashed.run_timeline(timeline)
+                checks.append(("churn.crash_restore_identical", False,
+                               "crash hook never fired"))
+            except _SimulatedCrash:
+                restored = AllocatorRuntime.restore(ck, scenario=scenario)
+                restored.run_timeline(timeline)
+                identical = (_canonical_state(restored)
+                             == _canonical_state(runtime))
+                checks.append((
+                    "churn.crash_restore_identical", identical,
+                    "" if identical else
+                    f"state diverged after crash at epoch {crash_epoch} "
+                    f"+ restore + replay",
+                ))
+
+    statuses: Dict[str, int] = {}
+    for record in runtime.journal:
+        statuses[record.status] = statuses.get(record.status, 0) + 1
+    admissions: Dict[str, int] = {}
+    for decision in runtime.admission.decisions:
+        admissions[decision.action] = admissions.get(decision.action,
+                                                     0) + 1
+    return ChurnCase(
+        status=_worst_epoch_status([r.status for r in runtime.journal]),
+        checks=checks,
+        shares=dict(runtime.shares),
+        degraded_flows=sum(
+            int(r.convergence.get("unconfirmed") or 0)
+            for r in runtime.journal
+        ),
+        epochs_run=len(runtime.journal),
+        epoch_statuses=statuses,
+        admissions=admissions,
+    )
+
+
+@dataclass
+class ChurnViolation:
+    """One churn-safety violation, with everything needed to replay."""
+
+    case: int
+    loss: float
+    check: str
+    details: str
+    scenario: Dict[str, object]
+    churn_timeline: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "loss": self.loss,
+            "check": self.check,
+            "details": self.details,
+            "scenario": self.scenario,
+            "churn_timeline": self.churn_timeline,
+        }
+
+
+@dataclass
+class ChurnReport:
+    """Aggregate of one churn campaign, renderable and artifact-ready."""
+
+    cases: int
+    seed: int
+    loss_rates: Tuple[float, ...]
+    epochs: int
+    hysteresis: Optional[float] = None
+    statuses: Dict[str, int] = field(default_factory=dict)
+    checks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    admissions: Dict[str, int] = field(default_factory=dict)
+    epochs_run: int = 0
+    degraded_flows: int = 0
+    violations: List[ChurnViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def tally(self, case: ChurnCase) -> None:
+        for status, count in case.epoch_statuses.items():
+            self.statuses[status] = self.statuses.get(status, 0) + count
+        for action, count in case.admissions.items():
+            self.admissions[action] = (
+                self.admissions.get(action, 0) + count
+            )
+        self.epochs_run += case.epochs_run
+        self.degraded_flows += case.degraded_flows
+        for name, ok, _details in case.checks:
+            row = self.checks.setdefault(name, {"pass": 0, "fail": 0})
+            row["pass" if ok else "fail"] += 1
+            incr(f"resilience.{name}.{'pass' if ok else 'fail'}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cases": self.cases,
+            "seed": self.seed,
+            "loss_rates": list(self.loss_rates),
+            "epochs": self.epochs,
+            "hysteresis": self.hysteresis,
+            "ok": self.ok,
+            "statuses": dict(sorted(self.statuses.items())),
+            "checks": {k: dict(v) for k, v in sorted(self.checks.items())},
+            "admissions": dict(sorted(self.admissions.items())),
+            "epochs_run": self.epochs_run,
+            "degraded_flows": self.degraded_flows,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"repro churn: {self.cases} timeline(s) x "
+            f"{len(self.loss_rates)} loss rate(s) "
+            f"{tuple(self.loss_rates)}, {self.epochs} epoch(s), "
+            f"seed {self.seed}"
+            + (f", hysteresis {self.hysteresis:g}"
+               if self.hysteresis is not None else ""),
+            "",
+            f"  {'epoch status':<28} {'epochs':>6}",
+        ]
+        for status in sorted(self.statuses):
+            lines.append(f"  {status:<28} {self.statuses[status]:>6}")
+        lines.append(f"  {'total epochs committed':<28} "
+                     f"{self.epochs_run:>6}")
+        lines.append("")
+        lines.append(f"  {'admission action':<28} {'flows':>6}")
+        for action in sorted(self.admissions):
+            lines.append(
+                f"  {action:<28} {self.admissions[action]:>6}"
+            )
+        lines.append("")
+        lines.append(f"  {'safety check':<28} {'pass':>6} {'fail':>6}")
+        for name in sorted(self.checks):
+            row = self.checks[name]
+            lines.append(
+                f"  {name:<28} {row['pass']:>6} {row['fail']:>6}"
+            )
+        lines.append("")
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            for v in self.violations:
+                lines.append(
+                    f"  case {v.case} @ loss {v.loss:g}: {v.check}"
+                )
+                if v.details:
+                    lines.append(f"    {v.details}")
+        else:
+            lines.append("all churn safety invariants held")
+        return "\n".join(lines)
+
+
+def run_churn(
+    cases: int = 25,
+    seed: int = 0,
+    loss_rates: Sequence[float] = DEFAULT_CHURN_LOSS_RATES,
+    epochs: int = 10,
+    crash_prob: float = 0.0,
+    hysteresis: Optional[float] = 0.3,
+    max_violations: int = 5,
+    inject_fault: bool = False,
+    crash_restore: bool = True,
+) -> ChurnReport:
+    """Sweep ``cases`` seeded churn timelines x ``loss_rates``.
+
+    Scenario ``i`` comes from the verification fuzzer's generator (the
+    same topology verify case ``i`` would draw); its churn timeline is
+    drawn from stream ``("churn", i)``, so a failing ``(seed, case)``
+    pair reproduces from the command line alone.  ``inject_fault``
+    perturbs every final allocation so a healthy harness must fail —
+    the self-test that proves the checkers bite.
+    """
+    from ..verify.fuzzer import generate_scenario, inject_share_fault
+
+    fault = inject_share_fault if inject_fault else None
+    rates = tuple(float(r) for r in loss_rates)
+    report = ChurnReport(cases=cases, seed=seed, loss_rates=rates,
+                         epochs=epochs, hysteresis=hysteresis)
+    for index in range(cases):
+        registry = RngRegistry(seed)
+        scenario = generate_scenario(registry, index)
+        timeline = ChurnTimeline.draw(
+            registry.stream(("churn", index)),
+            scenario.flow_ids,
+            scenario.network.nodes,
+            scenario.network.links(),
+            epochs=epochs,
+        )
+        for loss in rates:
+            case = run_churn_case(
+                scenario, timeline,
+                seed=seed, loss=loss, crash_prob=crash_prob,
+                hysteresis=hysteresis,
+                stream_prefix=("churn", index, repr(loss)),
+                fault=fault,
+                crash_restore=crash_restore,
+            )
+            incr("runtime.cases")
+            report.tally(case)
+            for name, details in case.failed_checks():
+                report.violations.append(ChurnViolation(
+                    case=index,
+                    loss=loss,
+                    check=name,
+                    details=details,
+                    scenario=scenario_to_dict(scenario),
+                    churn_timeline=timeline.to_dict(),
                 ))
             if len(report.violations) >= max_violations:
                 return report

@@ -78,27 +78,110 @@ def enforce_clique_capacity(
     analysis: ContentionAnalysis,
     shares: Mapping[str, float],
     capacity: Optional[float] = None,
+    floors: Optional[Mapping[str, float]] = None,
 ) -> Tuple[Dict[str, float], bool]:
     """Scale ``shares`` down until every clique satisfies Eq. (6).
 
-    Returns ``(safe_shares, clamped)``.  One pass suffices: every flow's
-    factor is the minimum of ``B / load_k`` over its overloaded cliques,
-    so each clique's rescaled load is at most ``B`` (factors never exceed
-    1 and shrinking a share can only reduce other cliques' loads).
+    Returns ``(safe_shares, clamped)``.  Without ``floors`` one pass
+    suffices: every flow's factor is the minimum of ``B / load_k`` over
+    its overloaded cliques, so each clique's rescaled load is at most
+    ``B`` (factors never exceed 1 and shrinking a share can only reduce
+    other cliques' loads).
+
+    ``floors`` (flow-id -> Sec. II-D basic share) marks allocations the
+    governor must not erode: a flow already at or below its floor is
+    *exempt* from rescaling, and the remaining flows of an overloaded
+    clique absorb the whole reduction.  A flow that would be pushed
+    below its floor by that reduction is clamped *to* the floor, becomes
+    exempt, and the pass repeats — each iteration either resolves every
+    overload or exempts at least one more flow, so the loop terminates
+    in at most ``len(shares) + 1`` iterations.  Only when the floors
+    alone overfill a clique (impossible for shortcut-free flows,
+    Sec. III-B, but reachable on arbitrary re-routed topologies) does
+    the governor sacrifice floors for safety, scaling every member the
+    old way and counting ``resilience.degrade.floor_sacrificed``.
     """
     b = capacity if capacity is not None else analysis.scenario.capacity
-    factor: Dict[str, float] = {fid: 1.0 for fid in shares}
-    for clique in analysis.cliques:
-        coeffs = analysis.clique_coefficients(clique)
-        load = sum(n * shares.get(fid, 0.0) for fid, n in coeffs.items())
-        if load > b + _GOVERNOR_TOL:
-            cap = b / load * _GOVERNOR_MARGIN
+    if floors is None:
+        factor: Dict[str, float] = {fid: 1.0 for fid in shares}
+        for clique in analysis.cliques:
+            coeffs = analysis.clique_coefficients(clique)
+            load = sum(n * shares.get(fid, 0.0)
+                       for fid, n in coeffs.items())
+            if load > b + _GOVERNOR_TOL:
+                cap = b / load * _GOVERNOR_MARGIN
+                for fid in coeffs:
+                    if fid in factor:
+                        factor[fid] = min(factor[fid], cap)
+        if all(f == 1.0 for f in factor.values()):
+            return dict(shares), False
+        return {fid: shares[fid] * factor[fid] for fid in shares}, True
+
+    current: Dict[str, float] = dict(shares)
+    exempt = {
+        fid for fid, s in current.items()
+        if s <= floors.get(fid, 0.0) + _GOVERNOR_TOL
+    }
+    sacrificed: set = set()
+    clamped = False
+    for _ in range(len(current) + 1):
+        factor = {fid: 1.0 for fid in current}
+        overloaded = False
+        for clique in analysis.cliques:
+            coeffs = analysis.clique_coefficients(clique)
+            load = sum(n * current.get(fid, 0.0)
+                       for fid, n in coeffs.items())
+            if load <= b + _GOVERNOR_TOL:
+                continue
+            overloaded = True
+            exempt_load = sum(
+                n * current.get(fid, 0.0)
+                for fid, n in coeffs.items() if fid in exempt
+            )
+            headroom = b - exempt_load
+            scalable = load - exempt_load
+            if scalable <= 0.0 or headroom <= 0.0:
+                # The floors themselves overfill this clique: safety
+                # (Eq. 6) trumps the floor guarantee, old-style scaling.
+                incr("resilience.degrade.floor_sacrificed")
+                _LOG.debug(
+                    "basic-share floors overfill a clique; scaling all "
+                    "members including floor-clamped flows"
+                )
+                cap = b / load * _GOVERNOR_MARGIN
+                for fid in coeffs:
+                    if fid in factor:
+                        factor[fid] = min(factor[fid], cap)
+                        exempt.discard(fid)
+                        sacrificed.add(fid)
+                continue
+            cap = headroom / scalable * _GOVERNOR_MARGIN
             for fid in coeffs:
-                if fid in factor:
+                if fid in factor and fid not in exempt:
                     factor[fid] = min(factor[fid], cap)
-    if all(f == 1.0 for f in factor.values()):
-        return dict(shares), False
-    return {fid: shares[fid] * factor[fid] for fid in shares}, True
+        if not overloaded:
+            break
+        clamped = True
+        newly_exempt = False
+        for fid, f in factor.items():
+            if f == 1.0:
+                continue
+            scaled = current[fid] * f
+            floor = floors.get(fid, 0.0)
+            if (fid not in exempt and fid not in sacrificed
+                    and scaled < floor):
+                # Never push a flow below Sec. II-D: clamp to the floor
+                # and let the remaining flows absorb the next pass.
+                current[fid] = floor
+                exempt.add(fid)
+                newly_exempt = True
+            else:
+                current[fid] = scaled
+        if not newly_exempt:
+            # Every overloaded clique was fully rescaled (or floor-
+            # sacrificed): loads are now <= B, one more loop confirms.
+            continue
+    return current, clamped
 
 
 def degraded_allocation(allocator) -> AllocationResult:
@@ -138,7 +221,7 @@ def degraded_allocation(allocator) -> AllocationResult:
         degraded.append(fid)
         incr("resilience.degrade.basic_clamp")
 
-    safe, clamped = enforce_clique_capacity(analysis, shares)
+    safe, clamped = enforce_clique_capacity(analysis, shares, floors=basic)
     if clamped:
         incr("resilience.degrade.capacity_clamp")
         _LOG.debug("capacity governor rescaled a degraded allocation")

@@ -115,6 +115,7 @@ class VerificationSuite:
         fault: Optional[Callable[[Dict[str, float], float],
                                  Dict[str, float]]] = None,
         faults: bool = False,
+        churn: bool = False,
     ) -> None:
         self.brute_force_max_vertices = brute_force_max_vertices
         self.lp_tol = lp_tol
@@ -123,6 +124,9 @@ class VerificationSuite:
         #: Also run each case under a random fault plan (lossy 2PA-D with
         #: the resilience safety invariants) — ``repro verify --faults``.
         self.faults = faults
+        #: Also run each case through the long-lived runtime under a
+        #: seeded churn timeline — ``repro verify --churn``.
+        self.churn = churn
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> List[CheckOutcome]:
@@ -237,6 +241,37 @@ class VerificationSuite:
                 PASS if ok else FAIL,
                 details,
             )
+            for name, ok, details in case.checks
+        ]
+
+    # ------------------------------------------------------------------
+    def churn_outcomes(
+        self,
+        scenario: Scenario,
+        timeline,
+        seed: int,
+        index: int,
+    ) -> List[CheckOutcome]:
+        """Run ``scenario`` through ``timeline`` on the long-lived runtime.
+
+        Reuses :func:`repro.resilience.campaign.run_churn_case` — epoch
+        pipeline, admission control, per-epoch invariant records, and
+        the mid-timeline crash + restore differential.  All randomness
+        is a pure function of ``(seed, index)`` via the runtime's stream
+        prefix, so shrinking re-runs replay byte-identical epochs.
+        """
+        from ..resilience.campaign import run_churn_case
+
+        with phase_timer("verify.churn"):
+            case = run_churn_case(
+                scenario, timeline,
+                seed=seed,
+                hysteresis=0.3,
+                stream_prefix=("verify", index, "churn"),
+                fault=self.fault,
+            )
+        return [
+            CheckOutcome(name, PASS if ok else FAIL, details)
             for name, ok, details in case.checks
         ]
 
@@ -433,6 +468,8 @@ class FuzzFailure:
     reproducer_path: Optional[str] = None
     #: Serialized (shrunk) fault plan for ``faults.*`` failures.
     fault_plan: Optional[Dict[str, object]] = None
+    #: Serialized (shrunk) churn timeline for ``churn.*`` failures.
+    churn_timeline: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -443,6 +480,7 @@ class FuzzFailure:
             "shrunk": self.shrunk,
             "reproducer_path": self.reproducer_path,
             "fault_plan": self.fault_plan,
+            "churn_timeline": self.churn_timeline,
         }
 
 
@@ -539,24 +577,43 @@ def _run_case(
             outcomes = outcomes + suite.fault_outcomes(
                 scenario, plan, seed, index
             )
+        timeline = None
+        if suite.churn:
+            from ..resilience.epochs import ChurnTimeline
+
+            timeline = ChurnTimeline.draw(
+                registry.stream(("verify", index, "churn")),
+                scenario.flow_ids,
+                scenario.network.nodes,
+                scenario.network.links(),
+            )
+            outcomes = outcomes + suite.churn_outcomes(
+                scenario, timeline, seed, index
+            )
     incr("verify.cases")
     failed = [o for o in outcomes if o.failed]
     if not failed:
         return outcomes, None
     first = failed[0]
     faults_check = first.name.startswith("faults.")
+    churn_check = first.name.startswith("churn.")
 
-    def fails_with(candidate: Scenario, candidate_plan) -> bool:
+    def fails_with(candidate: Scenario, candidate_plan,
+                   candidate_timeline) -> bool:
         if faults_check:
             outs = suite.fault_outcomes(
                 candidate, candidate_plan, seed, index
+            )
+        elif churn_check:
+            outs = suite.churn_outcomes(
+                candidate, candidate_timeline, seed, index
             )
         else:
             outs = suite.run(candidate)
         return any(o.name == first.name and o.failed for o in outs)
 
     def still_fails(candidate: Scenario) -> bool:
-        return fails_with(candidate, plan)
+        return fails_with(candidate, plan, timeline)
 
     with phase_timer("verify.shrink"):
         minimal = shrink_scenario(scenario, still_fails)
@@ -568,8 +625,25 @@ def _run_case(
                 progress = False
                 for candidate_plan in plan.shrink_candidates():
                     try:
-                        if fails_with(minimal, candidate_plan):
+                        if fails_with(minimal, candidate_plan, timeline):
                             plan = candidate_plan
+                            progress = True
+                            break
+                    except Exception:
+                        continue
+        if churn_check and timeline is not None:
+            # Shrink the timeline (drop events, truncate the horizon)
+            # while the same check keeps failing.  Events referencing
+            # entities the shrunk scenario lost are skipped (and
+            # counted) by the runtime, so every candidate is well
+            # defined.
+            progress = True
+            while progress:
+                progress = False
+                for candidate_timeline in timeline.shrink_candidates():
+                    try:
+                        if fails_with(minimal, plan, candidate_timeline):
+                            timeline = candidate_timeline
                             progress = True
                             break
                     except Exception:
@@ -582,6 +656,8 @@ def _run_case(
         shrunk=scenario_to_dict(minimal),
         fault_plan=plan.to_dict() if faults_check and plan is not None
         else None,
+        churn_timeline=timeline.to_dict()
+        if churn_check and timeline is not None else None,
     )
     return outcomes, failure
 
@@ -602,6 +678,7 @@ def run_fuzz(
     max_failures: int = 5,
     jobs: int = 1,
     faults: bool = False,
+    churn: bool = False,
 ) -> FuzzReport:
     """Run ``cases`` seeded scenarios through the verification suite.
 
@@ -622,6 +699,13 @@ def run_fuzz(
     asserts the resilience safety invariants (``faults.*`` checks); a
     failing case's fault plan is shrunk alongside the scenario and lands
     in the reproducer.
+
+    ``churn=True`` additionally runs every case through the long-lived
+    allocator runtime under a churn timeline drawn from stream
+    ``("verify", i, "churn")`` and asserts the churn safety invariants
+    (``churn.*`` checks, including the crash + restore differential); a
+    failing case's timeline is shrunk alongside the scenario and lands
+    in the reproducer under ``churn_timeline``.
     """
     fault = inject_share_fault if inject_fault else None
     suite = VerificationSuite(
@@ -629,6 +713,7 @@ def run_fuzz(
         with_scipy=with_scipy,
         fault=fault,
         faults=faults,
+        churn=churn,
     )
     report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault)
 
@@ -678,5 +763,7 @@ def _write_reproducer(
     }
     if failure.fault_plan is not None:
         doc["fault_plan"] = failure.fault_plan
+    if failure.churn_timeline is not None:
+        doc["churn_timeline"] = failure.churn_timeline
     path.write_text(json.dumps(doc, indent=2, sort_keys=True))
     return str(path)

@@ -1,0 +1,139 @@
+"""Admission control: the Sec. II-D predicate and the queue controller.
+
+The predicate (:func:`basic_share_feasible`) is Eq. (6) evaluated with
+every flow at its basic share; the paper proves it holds for shortcut-
+free flow groups, and it fails exactly where the paper says allocation
+needs virtual lengths — shortcut paths.  The controller turns verdicts
+into admit/queue/reject decisions with machine-readable reasons and
+survives checkpoint round trips.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import ContentionAnalysis
+from repro.resilience import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    basic_share_feasible,
+)
+from repro.resilience.admission import (
+    REASON_FLOOR,
+    REASON_OK,
+    REASON_QUEUE_FULL,
+    REASON_UNROUTABLE,
+)
+from repro.scenarios import fig1, fig3, fig4, fig6
+
+
+@pytest.fixture(autouse=True)
+def _no_active_registry():
+    previous = obs.get_registry()
+    obs.set_registry(None)
+    yield
+    obs.set_registry(previous)
+
+
+class TestBasicShareFeasible:
+    @pytest.mark.parametrize("factory", [
+        fig1.make_scenario,
+        fig3.make_chain_scenario,
+        fig4.make_scenario,
+        fig6.make_scenario,
+    ])
+    def test_shortcut_free_groups_are_always_feasible(self, factory):
+        """Sec. III-B: without shortcuts, basic shares jointly satisfy
+        every clique constraint — admission can never starve a peer."""
+        assert basic_share_feasible(ContentionAnalysis(factory()))
+
+    def test_tight_capacity_fails_the_predicate(self):
+        """Shrinking B below the basic load flips the verdict (the
+        ``capacity`` override is what the runtime probes with)."""
+        analysis = ContentionAnalysis(fig4.make_scenario())
+        assert basic_share_feasible(analysis)
+        assert not basic_share_feasible(analysis, capacity=0.5)
+
+
+class TestAdmissionController:
+    def test_ok_reason_admits(self):
+        controller = AdmissionController()
+        decision = controller.decide("f1", 0, REASON_OK)
+        assert decision.action == ADMIT
+        assert decision.reason == REASON_OK
+        assert list(controller.waiting) == []
+
+    def test_non_ok_reason_queues_fifo(self):
+        controller = AdmissionController()
+        controller.decide("f1", 0, REASON_FLOOR)
+        controller.decide("f2", 0, REASON_UNROUTABLE)
+        assert list(controller.waiting) == ["f1", "f2"]
+        assert [d.action for d in controller.decisions] == [QUEUE, QUEUE]
+
+    def test_already_waiting_flow_is_rejected_not_requeued(self):
+        controller = AdmissionController()
+        controller.decide("f1", 0, REASON_FLOOR)
+        decision = controller.decide("f1", 1, REASON_FLOOR)
+        assert decision.action == REJECT
+        assert list(controller.waiting) == ["f1"]  # no duplicate
+
+    def test_full_queue_rejects_with_typed_reason(self):
+        controller = AdmissionController(max_queue=1)
+        controller.decide("f1", 0, REASON_FLOOR)
+        decision = controller.decide("f2", 0, REASON_FLOOR)
+        assert decision.action == REJECT
+        assert decision.reason == REASON_QUEUE_FULL
+        assert REASON_FLOOR in decision.details  # original verdict kept
+
+    def test_queue_disabled_means_hard_reject(self):
+        controller = AdmissionController(queue_rejected=False)
+        decision = controller.decide("f1", 0, REASON_FLOOR)
+        assert decision.action == REJECT
+        assert decision.reason == REASON_FLOOR
+        assert not controller.waiting
+
+    def test_disabled_controller_admits_everything(self):
+        controller = AdmissionController(enabled=False)
+        decision = controller.decide("f1", 0, REASON_FLOOR)
+        assert decision.action == ADMIT
+
+    def test_readmit_clears_queue_and_logs_admit(self):
+        controller = AdmissionController()
+        controller.decide("f1", 0, REASON_FLOOR)
+        decision = controller.readmit("f1", 3)
+        assert decision.action == ADMIT
+        assert decision.epoch == 3
+        assert list(controller.waiting) == []
+
+    def test_drop_waiting_tolerates_unknown_flows(self):
+        controller = AdmissionController()
+        controller.drop_waiting("ghost")  # must not raise
+        controller.decide("f1", 0, REASON_FLOOR)
+        controller.drop_waiting("f1")
+        assert not controller.waiting
+
+    def test_every_decision_is_machine_readable(self):
+        controller = AdmissionController(max_queue=1)
+        controller.decide("f1", 0, REASON_OK)
+        controller.decide("f2", 0, REASON_FLOOR)
+        controller.decide("f3", 1, REASON_UNROUTABLE)
+        for decision in controller.decisions:
+            doc = decision.to_dict()
+            assert set(doc) == {
+                "flow", "epoch", "action", "reason", "details"
+            }
+            assert doc["reason"]  # never empty
+
+    def test_snapshot_restore_round_trip(self):
+        controller = AdmissionController(max_queue=2)
+        controller.decide("f1", 0, REASON_OK)
+        controller.decide("f2", 0, REASON_FLOOR)
+        controller.decide("f3", 1, REASON_UNROUTABLE, "no path via X")
+        snap = controller.snapshot()
+
+        clone = AdmissionController(max_queue=2)
+        clone.restore(snap)
+        assert clone.snapshot() == snap
+        assert list(clone.waiting) == list(controller.waiting)
+        assert clone.decisions == controller.decisions

@@ -1,0 +1,227 @@
+"""Checkpoint store and crash/restore differentials.
+
+Two layers under test:
+
+* :mod:`repro.resilience.checkpoint` — the envelope itself: atomic
+  save, checksum verification, schema versioning, typed failures.
+* :meth:`AllocatorRuntime.save` / :meth:`AllocatorRuntime.restore` —
+  the acceptance property: a runtime crashed at *any* epoch boundary or
+  mid-epoch, restored from its last checkpoint and resumed, finishes in
+  a state **bitwise identical** (canonical-JSON equal, caches included)
+  to an uninterrupted run over the same timeline.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.resilience import (
+    AllocatorRuntime,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointSchemaError,
+    ChurnTimeline,
+    RuntimeConfig,
+    SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.checkpoint import CHECKPOINT_KIND
+from repro.scenarios import fig1, fig4, fig6, grid_scenario
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture(autouse=True)
+def _no_active_registry():
+    previous = obs.get_registry()
+    obs.set_registry(None)
+    yield
+    obs.set_registry(previous)
+
+
+PAYLOAD = {"epoch": 3, "shares": {"1": 0.5, "2": 0.25}, "active": ["1"]}
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        digest = save_checkpoint(PAYLOAD, path)
+        assert len(digest) == 64  # sha256 hex
+        assert load_checkpoint(path) == PAYLOAD
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "never-written.json")
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(PAYLOAD, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(PAYLOAD, path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["shares"]["1"] = 0.9  # hand edit, stale sha
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_wrong_kind_is_corrupt(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(PAYLOAD, path)
+        envelope = json.loads(path.read_text())
+        envelope["kind"] = "something/else"
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointCorruptError, match="kind"):
+            load_checkpoint(path)
+
+    def test_unknown_schema_is_typed_separately(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(PAYLOAD, path)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointSchemaError):
+            load_checkpoint(path)
+        # ...but still a CheckpointError, so callers can catch broadly.
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_object_envelope_is_corrupt(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+        path.write_text(json.dumps({
+            "kind": CHECKPOINT_KIND, "schema": SCHEMA_VERSION,
+            "sha256": "0" * 64, "payload": "not a dict",
+        }))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_failed_save_leaves_old_checkpoint_intact(self, tmp_path):
+        """Atomic replace: a save that dies mid-write never tears the
+        previous snapshot."""
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(PAYLOAD, path)
+        with pytest.raises(TypeError):
+            save_checkpoint({"bad": {1, 2, 3}}, path)  # sets aren't JSON
+        assert load_checkpoint(path) == PAYLOAD
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+
+def _drawn_timeline(scenario, name, epochs=8):
+    registry = RngRegistry(7)
+    return ChurnTimeline.draw(
+        registry.stream(("ckpt", name)),
+        scenario.flow_ids,
+        scenario.network.nodes,
+        scenario.network.links(),
+        epochs=epochs,
+    )
+
+
+def _canonical(runtime):
+    return json.dumps(runtime.state_payload(), sort_keys=True)
+
+
+class _SimulatedCrash(BaseException):
+    """Out of the Exception hierarchy so nothing accidentally eats it."""
+
+
+#: (scenario factory, mode, loss) — covers the centralized LP path, the
+#: lossy distributed 2PA-D path, and a larger centralized topology.
+CRASH_MATRIX = [
+    ("fig1", fig1.make_scenario, "centralized", 0.0),
+    ("fig4", fig4.make_scenario, "distributed", 0.2),
+    ("fig6", fig6.make_scenario, "centralized", 0.0),
+]
+
+
+class TestCrashRestoreDifferential:
+    @pytest.mark.parametrize(
+        "name,factory,mode,loss",
+        CRASH_MATRIX,
+        ids=[row[0] for row in CRASH_MATRIX],
+    )
+    @pytest.mark.parametrize("point", ["staged", "pre-checkpoint"])
+    def test_crash_then_restore_is_bitwise_identical(
+        self, tmp_path, name, factory, mode, loss, point
+    ):
+        """Crash at epoch ``epochs // 2`` — either after the epoch is
+        staged (boundary) or after the in-memory commit but before the
+        checkpoint write (mid-commit) — then restore and resume; the
+        final payload must equal the uninterrupted run's byte for byte.
+        """
+        scenario = factory()
+        timeline = _drawn_timeline(scenario, name)
+
+        def config(path):
+            return RuntimeConfig(
+                seed=3, mode=mode, loss=loss, hysteresis=0.3,
+                checkpoint_path=path,
+            )
+
+        baseline = AllocatorRuntime(scenario, config(None))
+        baseline.run_timeline(timeline)
+
+        path = str(tmp_path / f"{name}.ckpt.json")
+        victim = AllocatorRuntime(scenario, config(path))
+        crash_at = timeline.epochs // 2
+
+        def hook(where, epoch):
+            if where == point and epoch == crash_at:
+                raise _SimulatedCrash(f"{where}@{epoch}")
+
+        victim.crash_hook = hook
+        with pytest.raises(_SimulatedCrash):
+            victim.run_timeline(timeline)
+
+        restored = AllocatorRuntime.restore(path, scenario=scenario)
+        # Whichever side of the commit the crash hit, the durable state
+        # is the last *checkpointed* epoch.
+        assert restored.epoch == crash_at - 1
+        restored.run_timeline(timeline)
+        assert _canonical(restored) == _canonical(baseline)
+
+    def test_restore_without_scenario_rebuilds_it(self, tmp_path):
+        scenario = fig1.make_scenario()
+        path = str(tmp_path / "fig1.ckpt.json")
+        runtime = AllocatorRuntime(
+            scenario, RuntimeConfig(checkpoint_path=path)
+        )
+        runtime.set_active(["1", "2"])
+        restored = AllocatorRuntime.restore(path)
+        assert restored.scenario.name == scenario.name
+        assert _canonical(restored) == _canonical(runtime)
+
+    def test_restore_rejects_foreign_scenario(self, tmp_path):
+        path = str(tmp_path / "fig1.ckpt.json")
+        runtime = AllocatorRuntime(
+            fig1.make_scenario(), RuntimeConfig(checkpoint_path=path)
+        )
+        runtime.set_active(["1"])
+        with pytest.raises(CheckpointCorruptError, match="scenario"):
+            AllocatorRuntime.restore(path, scenario=fig4.make_scenario())
+
+    def test_restored_runtime_keeps_checkpointing_in_place(self, tmp_path):
+        """A restored runtime inherits the checkpoint location it was
+        restored from, so the crash/restore cycle can repeat."""
+        scenario = grid_scenario()
+        timeline = _drawn_timeline(scenario, "grid", epochs=6)
+        path = tmp_path / "grid.ckpt.json"
+        runtime = AllocatorRuntime(
+            scenario, RuntimeConfig(checkpoint_path=str(path))
+        )
+        runtime.advance(timeline.epoch_events(0))
+        first = load_checkpoint(path)
+        restored = AllocatorRuntime.restore(str(path))
+        assert restored.config.checkpoint_path == str(path)
+        restored.run_timeline(timeline)
+        assert load_checkpoint(path)["epoch"] == timeline.epochs - 1
+        assert load_checkpoint(path) != first

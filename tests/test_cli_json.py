@@ -140,7 +140,7 @@ class TestVerifyCli:
         assert doc["scenario"] == "random-fuzz"
         assert doc["seed"] == 0
         assert doc["config"] == {"cases": 5, "inject_fault": False,
-                                 "faults": False}
+                                 "faults": False, "churn": False}
         assert doc["results"]["ok"] is True
         assert doc["results"]["failures"] == []
         counters = doc["metrics"]["counters"]
@@ -174,6 +174,52 @@ class TestVerifyCli:
         doc = json.loads(reproducers[0].read_text())
         assert doc["kind"] == "repro.verify/reproducer"
         assert doc["check"] == "lp.clique_capacity"
+
+
+class TestChurnCli:
+    def test_json_artifact_with_runtime_counters(self, capsys):
+        code, out = _run_cli(capsys, [
+            "churn", "--cases", "2", "--epochs", "5",
+            "--loss", "0,0.2", "--seed", "0", "--json",
+        ])
+        assert code == 0
+        doc = json.loads(out)
+        validate_artifact(doc)
+        assert doc["kind"] == "churn"
+        assert doc["scenario"] == "random-churn"
+        assert doc["seed"] == 0
+        assert doc["config"] == {
+            "cases": 2, "loss_rates": [0.0, 0.2], "epochs": 5,
+            "crash_prob": 0.0, "hysteresis": 0.3, "inject_fault": False,
+        }
+        results = doc["results"]
+        assert results["ok"] is True
+        assert results["violations"] == []
+        assert results["epochs_run"] == 2 * 2 * 5
+        assert results["checks"]["churn.crash_restore_identical"]["fail"] == 0
+        counters = doc["metrics"]["counters"]
+        assert counters["runtime.cases"] == 4
+        assert counters["runtime.epoch.committed"] >= 20
+        # The crash differential exercises the checkpoint store...
+        assert counters["checkpoint.save"] >= 1
+        assert counters["checkpoint.restore"] >= 1
+        # ...and every arrival went through admission control.
+        assert counters["admission.admit"] >= 1
+        assert "runtime.epoch" in doc["metrics"]["timers"]
+
+    def test_human_render(self, capsys):
+        code, out = _run_cli(capsys, [
+            "churn", "--cases", "1", "--epochs", "4", "--loss", "0",
+        ])
+        assert code == 0
+        assert "all churn safety invariants held" in out
+
+    def test_inject_fault_inverts_exit_code(self, capsys):
+        code, out = _run_cli(capsys, [
+            "churn", "--cases", "1", "--epochs", "4", "--loss", "0",
+            "--inject-fault",
+        ])
+        assert code == 0  # healthy harness == fault caught
 
 
 class TestTraceFlag:

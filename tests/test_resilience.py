@@ -19,6 +19,7 @@ from repro.resilience import (
     NodeCrash,
     ResilientLPBackend,
     UnreliableChannel,
+    basic_share_feasible,
     enforce_clique_capacity,
     global_basic_shares,
     run_chaos,
@@ -249,6 +250,83 @@ class TestCapacityGovernor:
         assert basic == expected
         _safe, clamped = enforce_clique_capacity(analysis, basic)
         assert not clamped  # paper: basic shares are jointly feasible
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_floor_aware_governor_never_erodes_floors(self, name):
+        """With ``floors=`` the governor resolves an overload entirely
+        on the flows above their Sec. II-D basic share: every clique
+        ends within Eq. (6) and no flow lands below its floor."""
+        scenario = LIBRARY[name]()
+        analysis = ContentionAnalysis(scenario)
+        floors = global_basic_shares(analysis)
+        inflated = {f.flow_id: scenario.capacity for f in scenario.flows}
+        safe, clamped = enforce_clique_capacity(
+            analysis, inflated, floors=floors
+        )
+        # fig5's flows don't interfere at all: full capacity each is
+        # already feasible and the governor must not touch it.
+        assert clamped == (not check_clique_capacity(analysis,
+                                                     inflated).ok)
+        assert check_clique_capacity(analysis, safe).ok
+        if basic_share_feasible(analysis):
+            for fid, floor in floors.items():
+                assert safe[fid] >= floor - 1e-9, (fid, safe[fid], floor)
+        else:
+            # fig3's shortcut: the floors alone overfill the clique, so
+            # Eq. (6) wins and at least one flow is pushed below.
+            assert any(safe[fid] < floor for fid, floor in floors.items())
+
+    def test_floor_aware_governor_is_noop_on_feasible_shares(self):
+        scenario = fig6.make_scenario()
+        analysis = ContentionAnalysis(scenario)
+        shares = DistributedAllocator(scenario, analysis=analysis).run().shares
+        safe, clamped = enforce_clique_capacity(
+            analysis, shares, floors=global_basic_shares(analysis)
+        )
+        assert not clamped
+        assert safe == shares  # bitwise
+
+    def test_infeasible_floors_sacrificed_for_safety(self):
+        """When the floors alone overfill a clique (reachable only on
+        pathological topologies), Eq. (6) wins: the governor scales
+        everyone and counts the sacrifice."""
+        scenario = fig1.make_scenario()
+        analysis = ContentionAnalysis(scenario)
+        bogus_floors = {f.flow_id: scenario.capacity
+                        for f in scenario.flows}
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        try:
+            safe, clamped = enforce_clique_capacity(
+                analysis, dict(bogus_floors), floors=bogus_floors
+            )
+        finally:
+            obs.set_registry(None)
+        assert clamped
+        assert check_clique_capacity(analysis, safe).ok
+        counters = registry.snapshot()["counters"]
+        assert counters["resilience.degrade.floor_sacrificed"] >= 1
+
+    def test_degraded_allocation_respects_floors(self):
+        """The degradation ladder's governor pass is floor-aware: a
+        partially-converged mixture never pushes a *confirmed* flow
+        below its basic share."""
+        scenario = fig6.make_scenario()
+        analysis = ContentionAnalysis(scenario)
+        flow1 = scenario.flows[0]
+        plan = FaultPlan(crashes=(NodeCrash(flow1.source, 0, None),))
+        channel = UnreliableChannel(
+            FaultInjector(plan, RngRegistry(2), prefix=("t", "floor"))
+        )
+        allocator = DistributedAllocator(
+            scenario, analysis=analysis, channel=channel
+        )
+        result = allocator.run()
+        assert result.strategy == "distributed-degraded"
+        floors = global_basic_shares(analysis)
+        for fid, share in result.shares.items():
+            assert share >= floors[fid] - 1e-9
+        assert check_clique_capacity(analysis, result.shares).ok
 
 
 class TestLPFallbackChain:

@@ -191,6 +191,83 @@ class TestRunFuzz:
         assert len(report.failures) == 2
 
 
+class TestChurnMode:
+    def test_churn_mode_adds_runtime_checks(self):
+        report = run_fuzz(cases=3, seed=0, churn=True)
+        assert report.ok, [f.to_dict() for f in report.failures]
+        assert report.checks["churn.no_raise"][PASS] == 3
+        assert report.checks["churn.epoch_checks"][PASS] == 3
+        assert report.checks["churn.crash_restore_identical"][PASS] == 3
+
+    def test_churn_failure_shrinks_timeline_into_reproducer(self):
+        """A churn-only failure is shrunk along BOTH axes — scenario
+        and timeline — and the reproducer carries the timeline."""
+        from repro.resilience.epochs import ChurnTimeline
+        from repro.verify.fuzzer import VerificationSuite, _run_case
+
+        class _ChurnFaultOnly(VerificationSuite):
+            """Perturb allocations only on the churn path, so the first
+            failing check is ``churn.*`` (the static suite stays clean)."""
+
+            def run(self, scenario):
+                fault, self.fault = self.fault, None
+                try:
+                    return super().run(scenario)
+                finally:
+                    self.fault = fault
+
+        suite = _ChurnFaultOnly(fault=inject_share_fault, churn=True)
+        outcomes, failure = _run_case(0, 0, suite)
+        assert failure is not None
+        assert failure.check.startswith("churn.")
+        assert failure.churn_timeline is not None
+        # The serialized timeline replays and is no bigger than a fresh
+        # draw for this case would be.
+        timeline = ChurnTimeline.from_dict(failure.churn_timeline)
+        assert timeline.to_dict() == failure.churn_timeline
+        original = scenario_from_dict(failure.scenario)
+        fresh = ChurnTimeline.draw(
+            RngRegistry(0).stream(("verify", 0, "churn")),
+            original.flow_ids,
+            original.network.nodes,
+            original.network.links(),
+        )
+        assert len(timeline.events) <= len(fresh.events)
+        assert timeline.epochs <= fresh.epochs
+        # to_dict round-trips through the failure record.
+        doc = failure.to_dict()
+        assert doc["churn_timeline"] == failure.churn_timeline
+
+    def test_churn_failures_replay_from_reproducer_fields(self):
+        """The (shrunk scenario, shrunk timeline) pair still fails the
+        recorded check — the reproducer is self-contained."""
+        from repro.resilience.campaign import run_churn_case
+        from repro.resilience.epochs import ChurnTimeline
+        from repro.verify.fuzzer import VerificationSuite, _run_case
+
+        class _ChurnFaultOnly(VerificationSuite):
+            def run(self, scenario):
+                fault, self.fault = self.fault, None
+                try:
+                    return super().run(scenario)
+                finally:
+                    self.fault = fault
+
+        suite = _ChurnFaultOnly(fault=inject_share_fault, churn=True)
+        _outcomes, failure = _run_case(1, 0, suite)
+        assert failure is not None
+        case = run_churn_case(
+            scenario_from_dict(failure.shrunk),
+            ChurnTimeline.from_dict(failure.churn_timeline),
+            seed=0,
+            hysteresis=0.3,
+            stream_prefix=("verify", 1, "churn"),
+            fault=inject_share_fault,
+        )
+        assert any(name == failure.check and not ok
+                   for name, ok, _details in case.checks)
+
+
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_fuzz_is_reproducible(seed):
     a = run_fuzz(cases=4, seed=seed)
