@@ -29,12 +29,21 @@ Observability flags (on ``table1``/``table2``/``table3``/``ablation``/
     --profile             print per-phase wall/CPU timings and counters
     --trace CATS          enable trace categories (comma-separated:
                           mac,chan,queue,app,sched) on simulation runs
+    --trace-out PATH      enable hierarchical span tracing; write the
+                          span records (JSONL) to PATH
+    --telemetry PATH      stream telemetry events (JSONL) to PATH live
+    --prom-out PATH       write metrics in Prometheus text format
 
 With ``--json`` or ``--metrics-out``, every experiment emits both the
 human table (unless ``--json`` replaces it) and a machine-readable
 record — per-phase timings (clique enumeration, LP solves, sim loop),
-2PA-D convergence rounds/messages, and the paper's table quantities —
+2PA-D convergence rounds/messages, epoch-latency percentiles and time
+attribution (the ``slo`` section), and the paper's table quantities —
 that benchmark tooling can diff across PRs.
+
+``report --artifact PATH`` switches to telemetry mode: it renders the
+latency/attribution tables from a saved artifact and diffs timer means
+against ``benchmarks/BENCH_obs.json`` / ``benchmarks/BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -54,11 +63,18 @@ from .experiments import (
     run_table3,
 )
 from .obs import (
+    EventBus,
     MetricsRegistry,
     RunArtifact,
+    SpanTracer,
+    get_event_bus,
+    get_tracer,
     render_profile,
+    set_event_bus,
     set_registry,
+    set_tracer,
     trace_to_records,
+    write_prometheus,
 )
 from .sim import NULL_TRACER, Tracer
 
@@ -84,6 +100,21 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--trace", metavar="CATS", default=None,
         help="enable trace categories (comma-separated: "
              "mac,chan,queue,app,sched)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable hierarchical span tracing; write the span records "
+             "(JSONL) to PATH",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream telemetry events (JSONL) to PATH as they happen "
+             "(tail -f friendly)",
+    )
+    parser.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="write the collected metrics to PATH in Prometheus text "
+             "exposition format",
     )
 
 
@@ -212,6 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--no-sim", action="store_true",
                    help="skip the simulation tables (fast)")
+    p.add_argument("--artifact", metavar="PATH", default=None,
+                   help="telemetry mode: render latency/attribution "
+                        "tables and benchmark trend deltas from a saved "
+                        "run artifact instead of rebuilding the report")
+    p.add_argument("--bench-obs", metavar="PATH",
+                   default="benchmarks/BENCH_obs.json",
+                   help="observability benchmark baseline for trend "
+                        "deltas (default benchmarks/BENCH_obs.json)")
+    p.add_argument("--bench-perf", metavar="PATH",
+                   default="benchmarks/BENCH_perf.json",
+                   help="perf benchmark baseline for fast-path reference "
+                        "lines (default benchmarks/BENCH_perf.json)")
     _add_obs_flags(p)
 
     p = sub.add_parser("all", help="run everything")
@@ -258,26 +301,52 @@ def _run_observed(
     profile, and/or the trace as flagged.
     """
     wants_artifact = args.json or args.metrics_out is not None
-    wants_registry = wants_artifact or args.profile
+    trace_out = getattr(args, "trace_out", None)
+    telemetry = getattr(args, "telemetry", None)
+    prom_out = getattr(args, "prom_out", None)
+    wants_registry = (
+        wants_artifact or args.profile
+        or trace_out is not None or telemetry is not None
+        or prom_out is not None
+    )
     tracer = _make_tracer(args)
 
     registry = MetricsRegistry() if wants_registry else None
+    span_tracer = SpanTracer() if trace_out is not None else None
+    event_bus = EventBus(path=telemetry) if telemetry is not None else None
     previous = None
+    prev_tracer = prev_bus = None
     if registry is not None:
         from .obs import get_registry
 
         previous = get_registry()
         set_registry(registry)
+    if span_tracer is not None:
+        prev_tracer = get_tracer()
+        set_tracer(span_tracer)
+    if event_bus is not None:
+        prev_bus = get_event_bus()
+        set_event_bus(event_bus)
     wall_start = time.perf_counter()
     try:
         rendered, scenario_name, results = payload(tracer)
     finally:
         if registry is not None:
             set_registry(previous)
+        if span_tracer is not None:
+            set_tracer(prev_tracer)
+        if event_bus is not None:
+            set_event_bus(prev_bus)
+            event_bus.close()
     wall_time = time.perf_counter() - wall_start
 
     if not args.json:
         print(rendered)
+
+    if trace_out is not None:
+        from .obs.jsonl import dump_jsonl
+
+        dump_jsonl(trace_out, span_tracer.to_records())
 
     artifact: Optional[RunArtifact] = None
     if wants_artifact:
@@ -291,16 +360,103 @@ def _run_observed(
         )
         artifact.attach_registry(registry)
         artifact.trace = trace_to_records(tracer)
+        artifact.attach_slo(
+            registry,
+            trace_stats=span_tracer.stats() if span_tracer else None,
+            event_stats=event_bus.stats() if event_bus else None,
+        )
     if args.json:
         print(artifact.to_json())
     if args.metrics_out is not None:
         artifact.write(args.metrics_out)
+    if prom_out is not None and registry is not None:
+        write_prometheus(registry, prom_out)
     if args.profile and registry is not None:
         stream = sys.stderr if args.json else sys.stdout
         print(render_profile(registry), file=stream)
     if tracer is not NULL_TRACER and not wants_artifact:
         for record in tracer.records:
             print(record)
+    return 0
+
+
+def _load_json_file(path: str) -> Optional[Dict[str, object]]:
+    import json
+    from pathlib import Path
+
+    p = Path(path)
+    if not p.is_file():
+        return None
+    with open(p, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _render_telemetry_report(args: argparse.Namespace) -> int:
+    """``report --artifact``: latency, attribution, and trend tables.
+
+    Consumes a saved run artifact (either layout), renders its embedded
+    SLO section, and diffs the timer means against the checked-in
+    benchmark baselines.  Works entirely from files — no experiment is
+    re-run.
+    """
+    from .obs.slo import bench_trend_rows, perf_reference_rows, render_slo
+
+    artifact = RunArtifact.load(args.artifact)
+    lines: List[str] = [
+        f"telemetry report — kind={artifact.kind} "
+        f"scenario={artifact.scenario} seed={artifact.seed}",
+        "",
+    ]
+    if artifact.slo is not None:
+        lines.append(render_slo(artifact.slo))
+    else:
+        lines.append(
+            "(artifact carries no slo section — re-run the experiment "
+            "with --json/--metrics-out on this build to embed one)"
+        )
+
+    timers = artifact.metrics.get("timers", {})
+    bench_obs = _load_json_file(args.bench_obs)
+    if bench_obs is None:
+        lines.append("")
+        lines.append(f"(no trend baseline at {args.bench_obs})")
+    else:
+        rows = bench_trend_rows(timers, bench_obs)
+        lines.append("")
+        lines.append(f"trend vs {args.bench_obs}")
+        if rows:
+            lines.append(
+                f"  {'timer':<30} {'mean_ms':>10} {'baseline':>10} "
+                f"{'delta':>8}"
+            )
+            for r in rows:
+                lines.append(
+                    f"  {r['timer']:<30} {r['current_mean_ms']:>10.3f} "
+                    f"{r['baseline_mean_ms']:>10.3f} "
+                    f"{r['delta'] * 100.0:>+7.1f}%"
+                )
+        else:
+            lines.append("  (no timers shared with the baseline)")
+
+    bench_perf = _load_json_file(args.bench_perf)
+    if bench_perf is not None:
+        rows = perf_reference_rows(bench_perf)
+        if rows:
+            lines.append("")
+            lines.append(
+                f"fast-path reference ({args.bench_perf}, dynamic churn)"
+            )
+            lines.append(
+                f"  {'nodes':>5} {'flows':>5} {'seed':>4} "
+                f"{'fast ms/event':>14} {'speedup':>8}"
+            )
+            for r in rows:
+                lines.append(
+                    f"  {r['nodes']:>5} {r['flows']:>5} {r['seed']:>4} "
+                    f"{r['fast_ms_per_event']:>14.3f} "
+                    f"{r['speedup']:>7.1f}x"
+                )
+    print("\n".join(lines))
     return 0
 
 
@@ -495,6 +651,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                            scenario.flow_ids))
         return 0
     if args.command == "report":
+        if args.artifact is not None:
+            return _render_telemetry_report(args)
 
         def report_payload(tracer: Tracer) -> _Payload:
             # --json suppresses the human rendering, so skip its (heavy)

@@ -43,6 +43,7 @@ from typing import Dict, FrozenSet, List, Mapping, Sequence, Set
 from ..graphs import maximal_cliques
 from ..lp import LinearProgram, LPSolution, lexicographic_maxmin, solve
 from ..obs.registry import incr, observe, phase_timer, set_gauge
+from ..obs.trace import span
 from .allocation import AllocationResult
 from .contention import ContentionAnalysis
 from .model import Flow, Network, NodeId, Scenario, Subflow, SubflowId
@@ -120,7 +121,7 @@ class DistributedAllocator:
     # ------------------------------------------------------------------
     def build_local_views(self) -> Dict[NodeId, LocalView]:
         """Populate each node's overheard/known subflows and local cliques."""
-        with phase_timer("2pad.build_views"):
+        with phase_timer("2pad.build_views"), span("2pad.build_views"):
             return self._build_local_views()
 
     def _build_local_views(self) -> Dict[NodeId, LocalView]:
@@ -170,11 +171,18 @@ class DistributedAllocator:
         """
         if not self.views:
             self.build_local_views()
-        with phase_timer("2pad.propagate"):
+        with phase_timer("2pad.propagate"), \
+                span("2pad.propagate",
+                     lossy=self.channel is not None) as prop_span:
             if self.channel is None:
                 self._propagate_constraints()
             else:
                 self.convergence = self.channel.propagate(self)
+            prop_span.tag(
+                status=self.convergence.get("status"),
+                max_rounds=self.convergence.get("max_rounds"),
+                messages=self.convergence.get("total_messages"),
+            )
 
     def _propagate_constraints(self) -> None:
         # Reset up front and update incrementally per flow: if a fault
@@ -190,47 +198,52 @@ class DistributedAllocator:
             "status": "in-progress",
         }
         for flow in self.scenario.flows:
-            path = list(flow.path)
-            holding: Dict[NodeId, Set[Clique]] = {
-                node: {
-                    clique
-                    for clique in self.views[node].local_cliques
-                    if any(sid.flow == flow.flow_id for sid in clique)
+            with span("2pad.flow", flow=flow.flow_id) as flow_span:
+                path = list(flow.path)
+                holding: Dict[NodeId, Set[Clique]] = {
+                    node: {
+                        clique
+                        for clique in self.views[node].local_cliques
+                        if any(sid.flow == flow.flow_id for sid in clique)
+                    }
+                    for node in path
                 }
-                for node in path
-            }
-            rounds = 0
-            while True:
-                transfers: List[Tuple[NodeId, Clique]] = []
-                for i, node in enumerate(path):
-                    for j in (i - 1, i + 1):
-                        if not 0 <= j < len(path):
-                            continue
-                        neighbor = path[j]
-                        for clique in holding[node]:
-                            if clique not in holding[neighbor]:
-                                transfers.append((neighbor, clique))
-                if not transfers:
-                    break
-                rounds += 1
-                total_messages += len(transfers)
-                for neighbor, clique in transfers:
-                    holding[neighbor].add(clique)
-            rounds_per_flow[flow.flow_id] = rounds
-            self.convergence["max_rounds"] = max(
-                rounds_per_flow.values(), default=0
-            )
-            self.convergence["total_messages"] = total_messages
-            observe("2pad.rounds_to_convergence", rounds)
-            for node in path:
-                view = self.views[node]
-                own = set(view.local_cliques)
-                for clique in sorted(
-                    holding[node],
-                    key=lambda c: (-len(c), sorted(map(str, c))),
-                ):
-                    if clique not in own and clique not in view.received_cliques:
-                        view.received_cliques.append(clique)
+                rounds = 0
+                flow_messages = 0
+                while True:
+                    transfers: List[Tuple[NodeId, Clique]] = []
+                    for i, node in enumerate(path):
+                        for j in (i - 1, i + 1):
+                            if not 0 <= j < len(path):
+                                continue
+                            neighbor = path[j]
+                            for clique in holding[node]:
+                                if clique not in holding[neighbor]:
+                                    transfers.append((neighbor, clique))
+                    if not transfers:
+                        break
+                    rounds += 1
+                    flow_messages += len(transfers)
+                    total_messages += len(transfers)
+                    for neighbor, clique in transfers:
+                        holding[neighbor].add(clique)
+                rounds_per_flow[flow.flow_id] = rounds
+                self.convergence["max_rounds"] = max(
+                    rounds_per_flow.values(), default=0
+                )
+                self.convergence["total_messages"] = total_messages
+                observe("2pad.rounds_to_convergence", rounds)
+                flow_span.tag(rounds=rounds, messages=flow_messages)
+                for node in path:
+                    view = self.views[node]
+                    own = set(view.local_cliques)
+                    for clique in sorted(
+                        holding[node],
+                        key=lambda c: (-len(c), sorted(map(str, c))),
+                    ):
+                        if (clique not in own
+                                and clique not in view.received_cliques):
+                            view.received_cliques.append(clique)
         self.convergence["status"] = "converged"
         incr("2pad.messages", total_messages)
         set_gauge("2pad.max_rounds",
@@ -273,7 +286,8 @@ class DistributedAllocator:
         throughput maximization — shares stay proportional to the locally
         computed basic shares.
         """
-        with phase_timer("2pad.local_lp"):
+        with phase_timer("2pad.local_lp"), \
+                span("2pad.local_lp", node=str(node)):
             problem = self._solve_local(node)
         incr("2pad.local_lps")
         return problem
@@ -375,7 +389,9 @@ class DistributedAllocator:
         a capacity governor enforces Eq. (6) on the mixture (see
         :func:`repro.resilience.degrade.degraded_allocation`).
         """
-        with phase_timer("2pad.run"):
+        with phase_timer("2pad.run"), \
+                span("2pad.run",
+                     lossy=self.channel is not None) as run_span:
             self.build_local_views()
             self.propagate_constraints()
             if (self.channel is not None
@@ -386,7 +402,9 @@ class DistributedAllocator:
                 self._shares = dict(result.shares)
                 incr("2pad.runs")
                 incr("2pad.degraded_runs")
+                run_span.tag(degraded=True)
                 return result
+            run_span.tag(degraded=False)
             for flow in self.scenario.flows:
                 problem = self.problems.get(flow.source) or self.solve_local(
                     flow.source

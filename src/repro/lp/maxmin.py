@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from ..obs.trace import span
 from .problem import LinearProgram, LPSolution
 from .solvers import solve
 
@@ -42,42 +43,51 @@ def lexicographic_maxmin(
 
     ``weights`` normalizes shares (share/weight comparisons); defaults to 1.
     """
-    base = solve(lp, backend)
-    if not base.is_optimal:
-        return base
-    names = lp.variables
-    w = {v: float((weights or {}).get(v, 1.0)) for v in names}
-    for v, wv in w.items():
-        if wv <= 0:
-            raise ValueError(f"weight for {v!r} must be positive, got {wv}")
+    with span("lp.maxmin", vars=len(lp.variables),
+              fix_objective=fix_objective) as maxmin_span:
+        base = solve(lp, backend)
+        if not base.is_optimal:
+            maxmin_span.tag(status=base.status)
+            return base
+        names = lp.variables
+        w = {v: float((weights or {}).get(v, 1.0)) for v in names}
+        for v, wv in w.items():
+            if wv <= 0:
+                raise ValueError(
+                    f"weight for {v!r} must be positive, got {wv}"
+                )
 
-    work = lp.clone()
-    if fix_objective and lp.objective:
-        # objective >= T*  encoded as  -objective <= -T*.
-        work.add_constraint(
-            {v: -c for v, c in lp.objective.items()},
-            -base.objective + _TOL,
-            label="pin-optimal-total",
-        )
+        work = lp.clone()
+        if fix_objective and lp.objective:
+            # objective >= T*  encoded as  -objective <= -T*.
+            work.add_constraint(
+                {v: -c for v, c in lp.objective.items()},
+                -base.objective + _TOL,
+                label="pin-optimal-total",
+            )
 
-    frozen: Dict[str, float] = {}
-    remaining = list(names)
-    guard = len(names) + 2
-    while remaining and guard:
-        guard -= 1
-        level, values = _raise_floor(work, remaining, w, frozen, backend)
-        if level is None:
-            # No further improvement possible; freeze everything as-is.
-            for v in remaining:
-                frozen[v] = values.get(v, frozen.get(v, 0.0))
-            break
-        newly = _saturated(work, remaining, w, frozen, level, backend,
-                           hint=values)
-        for v in newly:
-            frozen[v] = level * w[v]
-        remaining = [v for v in remaining if v not in newly]
+        frozen: Dict[str, float] = {}
+        remaining = list(names)
+        guard = len(names) + 2
+        rounds = 0
+        while remaining and guard:
+            guard -= 1
+            rounds += 1
+            level, values = _raise_floor(work, remaining, w, frozen,
+                                         backend)
+            if level is None:
+                # No further improvement possible; freeze everything as-is.
+                for v in remaining:
+                    frozen[v] = values.get(v, frozen.get(v, 0.0))
+                break
+            newly = _saturated(work, remaining, w, frozen, level, backend,
+                               hint=values)
+            for v in newly:
+                frozen[v] = level * w[v]
+            remaining = [v for v in remaining if v not in newly]
 
-    solution = dict(frozen)
+        maxmin_span.tag(status="optimal", rounds=rounds)
+        solution = dict(frozen)
     return LPSolution("optimal", solution, lp.objective_value(solution))
 
 

@@ -39,7 +39,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.events import emit_event
 from ..obs.registry import incr, phase_timer
+from ..obs.trace import current_span_id, span, tag_current
 from .problem import LinearProgram, LPSolution
 
 _EPS = 1e-9
@@ -63,7 +65,10 @@ def solve_simplex(
     names = lp.variables
     if not names:
         return LPSolution("optimal", {}, 0.0, basis=())
-    with phase_timer("lp.simplex.solve"):
+    with phase_timer("lp.simplex.solve"), \
+            span("lp.solve", vars=len(names),
+                 rows=len(lp.constraints),
+                 warm=start_basis is not None) as solve_span:
         c, a, b, lb = lp.to_dense()
 
         # Shift out the lower bounds: x = y + lb with y >= 0.
@@ -71,6 +76,7 @@ def solve_simplex(
         status, y, _, pivots, basis = _simplex_leq(
             c, a, b_shift, start_basis
         )
+        solve_span.tag(status=status, pivots=pivots)
     incr("lp.simplex.solves")
     incr("lp.simplex.pivots", pivots)
     if status != "optimal":
@@ -177,6 +183,18 @@ def _simplex_leq(
             incr("perf.lp.warm.fallbacks")
             incr("lp.warm.stale_basis")
             incr(f"lp.warm.stale_basis.{stale_reason}")
+            # Attribute the fallback to the LP-solve span it happened
+            # inside (and, transitively, the epoch/probe above it), so a
+            # stale basis in a trace points at a specific solve rather
+            # than a run-wide counter.
+            trigger = current_span_id()
+            tag_current(stale_basis=stale_reason)
+            if trigger is not None:
+                emit_event(
+                    "lp.warm.stale_basis",
+                    reason=stale_reason,
+                    span=trigger,
+                )
             _LOG.debug(
                 "stale warm basis (%s): %d labels for %d rows; "
                 "falling back to cold two-phase solve",

@@ -1,10 +1,19 @@
 """``repro.obs``: the unified observability layer for the 2PA stack.
 
-Three pieces, designed to compose:
+Six pieces, designed to compose:
 
 * :mod:`~repro.obs.registry` — counters, gauges, histograms, and reentrant
   phase timers behind module-level helpers that cost one ``is None`` check
   when no registry is active;
+* :mod:`~repro.obs.trace` — hierarchical spans with deterministic ids
+  covering the epoch pipeline, LP solves, 2PA-D gossip, and checkpoints
+  (same zero-cost-when-off contract, via a shared ``NullSpan``);
+* :mod:`~repro.obs.events` — a bounded streaming JSONL event bus with
+  explicit drop counters, torn-line-safe under parallel sweep workers;
+* :mod:`~repro.obs.export` + :mod:`~repro.obs.slo` — Prometheus
+  text-format exposition, epoch-latency p50/p95/p99 summaries, and
+  per-phase/per-component time attribution for ``repro-experiments
+  report``;
 * :mod:`~repro.obs.artifact` + :mod:`~repro.obs.jsonl` — structured,
   schema-versioned run records written atomically (JSON or JSONL), so
   experiments can be diffed across PRs;
@@ -19,6 +28,18 @@ the full metric and flag reference.
 """
 
 from .artifact import RunArtifact
+from .events import (
+    EventBus,
+    emit_event,
+    get_event_bus,
+    set_event_bus,
+    using_event_bus,
+)
+from .export import (
+    render_prometheus,
+    validate_prometheus_text,
+    write_prometheus,
+)
 from .jsonl import (
     atomic_write_text,
     dump_jsonl,
@@ -40,8 +61,20 @@ from .registry import (
     set_gauge,
     set_registry,
     using_registry,
+    weighted_percentile,
 )
 from .schema import SCHEMA_NAME, SCHEMA_VERSION, SchemaError, validate_artifact
+from .slo import render_slo, slo_report
+from .trace import (
+    NullSpan,
+    Span,
+    SpanTracer,
+    current_span_id,
+    get_tracer,
+    set_tracer,
+    span,
+    using_tracer,
+)
 
 __all__ = [
     "Counter",
@@ -49,6 +82,7 @@ __all__ = [
     "Histogram",
     "PhaseTimer",
     "MetricsRegistry",
+    "weighted_percentile",
     "get_registry",
     "set_registry",
     "using_registry",
@@ -56,6 +90,24 @@ __all__ = [
     "incr",
     "observe",
     "set_gauge",
+    "Span",
+    "NullSpan",
+    "SpanTracer",
+    "get_tracer",
+    "set_tracer",
+    "using_tracer",
+    "span",
+    "current_span_id",
+    "EventBus",
+    "get_event_bus",
+    "set_event_bus",
+    "using_event_bus",
+    "emit_event",
+    "render_prometheus",
+    "write_prometheus",
+    "validate_prometheus_text",
+    "slo_report",
+    "render_slo",
     "RunArtifact",
     "render_profile",
     "SCHEMA_NAME",

@@ -44,6 +44,7 @@ class RunArtifact:
     results: Dict[str, object] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
     trace: List[Dict[str, object]] = field(default_factory=list)
+    slo: Optional[Dict[str, object]] = None
     wall_time_s: float = 0.0
     version: str = field(default_factory=_package_version)
     created_unix: float = field(default_factory=time.time)
@@ -61,6 +62,22 @@ class RunArtifact:
     def attach_trace(self, tracer) -> None:
         """Export a :class:`~repro.sim.trace.Tracer`'s records."""
         self.trace = trace_to_records(tracer)
+
+    def attach_slo(
+        self,
+        registry: Optional[MetricsRegistry],
+        trace_stats: Optional[Dict[str, int]] = None,
+        event_stats: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Embed the SLO section (epoch latency + attribution) from
+        ``registry``; see :func:`repro.obs.slo.slo_report`."""
+        from .slo import slo_report
+
+        self.slo = slo_report(
+            registry if registry is not None else MetricsRegistry(),
+            trace_stats=trace_stats,
+            event_stats=event_stats,
+        )
 
     # ------------------------------------------------------------------
     # (De)serialization
@@ -82,6 +99,8 @@ class RunArtifact:
             "metrics": self.metrics,
             "trace": list(self.trace),
         }
+        if self.slo is not None:
+            doc["slo"] = self.slo
         return validate_artifact(doc)
 
     @classmethod
@@ -95,6 +114,7 @@ class RunArtifact:
             results=dict(doc["results"]),
             metrics=dict(doc["metrics"]),
             trace=list(doc["trace"]),
+            slo=doc.get("slo"),
             wall_time_s=float(doc["wall_time_s"]),
             version=str(doc["version"]),
             created_unix=float(doc.get("created_unix", 0.0)),

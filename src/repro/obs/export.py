@@ -1,0 +1,171 @@
+"""Prometheus text-format exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` as Prometheus
+text exposition format (version 0.0.4) so a scrape target, pushgateway,
+or plain file drop can ingest run telemetry without bespoke tooling:
+
+* counters  → ``repro_<name>_total`` (``# TYPE ... counter``)
+* gauges    → ``repro_<name>``       (``# TYPE ... gauge``)
+* histograms→ ``repro_<name>`` summaries — ``{quantile="0.5|0.95|0.99"}``
+  samples plus ``_sum``/``_count`` (``# TYPE ... summary``), quantiles
+  computed with the registry's weighted-percentile rule
+* timers    → ``repro_<name>_seconds_total`` (wall), ``_cpu_seconds_total``,
+  and ``_calls_total`` counters
+
+Metric names are sanitized to the Prometheus grammar (dots and other
+punctuation become underscores) and prefixed ``repro_`` to namespace the
+exposition.  Rendering is deterministic: families sort by name, samples
+by label.  :func:`validate_prometheus_text` is a small structural
+checker used by tests and the CI telemetry-smoke job — it verifies the
+grammar, that every sample belongs to a declared ``# TYPE`` family, and
+that values parse as floats.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import List, Union
+
+from .jsonl import atomic_write_text
+from .registry import MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "write_prometheus",
+    "validate_prometheus_text",
+    "PrometheusFormatError",
+]
+
+_NAME_PREFIX = "repro_"
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>\S+)$"
+)
+
+_SUMMARY_QUANTILES = (("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0))
+
+
+class PrometheusFormatError(ValueError):
+    """Raised by :func:`validate_prometheus_text` on malformed exposition."""
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus metric grammar."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return _NAME_PREFIX + cleaned
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in ``registry`` as Prometheus exposition text."""
+    lines: List[str] = []
+
+    for name in sorted(registry.counters):
+        prom = sanitize_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(registry.counters[name].value)}")
+
+    for name in sorted(registry.gauges):
+        prom = sanitize_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(registry.gauges[name].value)}")
+
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        prom = sanitize_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        if hist.count:
+            for label, p in _SUMMARY_QUANTILES:
+                lines.append(
+                    f'{prom}{{quantile="{label}"}} '
+                    f"{_fmt(hist.percentile(p))}"
+                )
+        lines.append(f"{prom}_sum {_fmt(sum(hist.values))}")
+        lines.append(f"{prom}_count {_fmt(hist.count)}")
+
+    for name in sorted(registry.timers):
+        timer = registry.timers[name]
+        base = sanitize_name(name)
+        for suffix, value in (
+            ("_seconds_total", timer.wall_s),
+            ("_cpu_seconds_total", timer.cpu_s),
+            ("_calls_total", float(timer.calls)),
+        ):
+            prom = base + suffix
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_fmt(value)}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry,
+                     path: Union[str, Path]) -> str:
+    """Atomically write the exposition to ``path``; returns the text."""
+    text = render_prometheus(registry)
+    atomic_write_text(Path(path), text)
+    return text
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Structurally validate exposition text; returns the sample count.
+
+    Checks the 0.0.4 grammar per line, that every sample's base family
+    (name stripped of ``_sum``/``_count``) was declared by a ``# TYPE``
+    line, and that values parse.  Raises
+    :class:`PrometheusFormatError` on the first violation.
+    """
+    declared = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                raise PrometheusFormatError(
+                    f"line {lineno}: malformed TYPE declaration: {line!r}"
+                )
+            declared.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise PrometheusFormatError(
+                f"line {lineno}: not a valid sample line: {line!r}"
+            )
+        name = match.group("name")
+        base = name
+        for suffix in ("_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in declared:
+                base = base[: -len(suffix)]
+                break
+        if base not in declared:
+            raise PrometheusFormatError(
+                f"line {lineno}: sample {name!r} has no TYPE declaration"
+            )
+        raw = match.group("value")
+        if raw not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(raw)
+            except ValueError as exc:
+                raise PrometheusFormatError(
+                    f"line {lineno}: bad sample value {raw!r}"
+                ) from exc
+        samples += 1
+    return samples

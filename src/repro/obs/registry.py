@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "PhaseTimer",
     "MetricsRegistry",
+    "weighted_percentile",
     "get_registry",
     "set_registry",
     "using_registry",
@@ -42,6 +43,36 @@ __all__ = [
     "observe",
     "set_gauge",
 ]
+
+
+def weighted_percentile(ordered: List[float], p: float) -> float:
+    """Hyndman–Fan type-7 percentile of an already-sorted sample.
+
+    The rule (the default in R, NumPy, and spreadsheets): for sample
+    size ``n`` the percentile ``p`` sits at fractional rank
+    ``h = (n - 1) * p / 100``; the estimate linearly interpolates the
+    two order statistics bracketing ``h``::
+
+        x[floor(h)] + (h - floor(h)) * (x[floor(h) + 1] - x[floor(h)])
+
+    Unlike nearest-rank, this is continuous in ``p`` and exact at small
+    counts — ``p50`` of ``[1, 2]`` is 1.5, not 1 — which matters for
+    short campaigns where an epoch-latency histogram may hold only a
+    handful of samples.
+    """
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    h = (n - 1) * (p / 100.0)
+    lo = math.floor(h)
+    frac = h - lo
+    if lo + 1 >= n:
+        return ordered[-1]
+    return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
 
 
 class Counter:
@@ -71,7 +102,7 @@ class Gauge:
 
 
 class Histogram:
-    """A value distribution with nearest-rank percentile summaries."""
+    """A value distribution with weighted-percentile summaries."""
 
     __slots__ = ("name", "values")
 
@@ -87,14 +118,13 @@ class Histogram:
         return len(self.values)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Hyndman–Fan type-7 percentile, ``p`` in [0, 100].
+
+        See :func:`weighted_percentile` for the interpolation rule.
+        """
         if not self.values:
             raise ValueError(f"histogram {self.name!r} is empty")
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self.values)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        return weighted_percentile(sorted(self.values), p)
 
     def summary(self) -> Dict[str, float]:
         if not self.values:

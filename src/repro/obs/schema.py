@@ -4,16 +4,34 @@ The artifact format is intentionally simple enough to validate with a
 hand-rolled checker (no external jsonschema dependency).  ``SCHEMA_NAME``
 and ``SCHEMA_VERSION`` are embedded in every artifact so downstream
 tooling can detect format drift across PRs.
+
+Version history:
+
+* **v1** — kind/scenario/seed/config/version/wall_time_s/results/metrics/
+  trace.
+* **v2** — adds an optional top-level ``slo`` section (epoch-latency
+  p50/p95/p99 plus per-phase and per-component time attribution; see
+  :mod:`repro.obs.slo`).  v1 documents remain valid — the reader accepts
+  every version in ``ACCEPTED_VERSIONS``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "SchemaError", "validate_artifact"]
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "ACCEPTED_VERSIONS",
+    "SchemaError",
+    "validate_artifact",
+]
 
 SCHEMA_NAME = "repro.obs/run-artifact"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions this build can read.  Writers always emit ``SCHEMA_VERSION``.
+ACCEPTED_VERSIONS = (1, 2)
 
 #: Required top-level fields and their accepted types.
 _TOP_LEVEL: Dict[str, Tuple[type, ...]] = {
@@ -66,9 +84,21 @@ def validate_artifact(doc: object) -> Dict[str, object]:
                   f"got {type(doc[key]).__name__}")
     if doc["schema"] != SCHEMA_NAME:
         _fail("$.schema", f"expected {SCHEMA_NAME!r}, got {doc['schema']!r}")
-    if doc["schema_version"] != SCHEMA_VERSION:
+    if doc["schema_version"] not in ACCEPTED_VERSIONS:
         _fail("$.schema_version",
               f"unsupported version {doc['schema_version']!r}")
+
+    slo = doc.get("slo")
+    if slo is not None:
+        # Imported here, not at module top: obs.slo imports obs.registry,
+        # and keeping schema dependency-free of the metrics layer avoids
+        # an import cycle through obs/__init__.
+        from .slo import validate_slo
+
+        try:
+            validate_slo(slo)
+        except ValueError as exc:
+            _fail("$.slo", str(exc))
 
     metrics = doc["metrics"]
     for section in _METRIC_SECTIONS:
@@ -115,4 +145,6 @@ def describe_schema() -> List[str]:
             f"  {key}: {'/'.join(t.__name__ for t in types)}"
         )
     lines.append("  metrics sections: " + ", ".join(_METRIC_SECTIONS))
+    lines.append("  slo (optional, v2): epoch_latency_ms percentiles + "
+                 "phase/component attribution")
     return lines

@@ -1,0 +1,290 @@
+"""Hierarchical spans: end-to-end tracing of the allocator pipeline.
+
+A **span** is one timed, named region of execution with a deterministic
+id, an optional parent, and free-form tags.  Spans nest: the epoch
+pipeline opens ``runtime.epoch``, each phase opens a child
+(``runtime.phase.solve``...), every LP solve inside the phase opens a
+grandchild (``lp.solve``), and so on down to 2PA-D per-flow gossip and
+checkpoint writes.  The finished trace is a tree encoded as flat JSONL
+records (one object per span, ``parent`` linking upward), so campaigns
+can answer "where does epoch time go, per phase, per LP solve, per
+gossip exchange" from a single file.
+
+Design rules, matching :mod:`repro.obs.registry`:
+
+* **Deterministic ids.**  Span ids are sequence numbers assigned in
+  *open* order (``"s1"``, ``"s2"``, ...), not random — two runs of the
+  same seeded workload produce identical id assignments, so traces can
+  be diffed across PRs and a reproducer can cite a span id.
+* **Zero-cost when off.**  Instrumentation calls :func:`span`; with no
+  tracer active it returns a shared :class:`NullSpan` whose every method
+  is a no-op — the disabled path costs one ``is None`` check and must
+  never change allocation results (the CI telemetry-smoke job asserts
+  disabled runs are bitwise identical).
+* **Bounded.**  A tracer keeps at most ``max_spans`` finished spans;
+  overflow increments an explicit ``dropped`` counter (surfaced as
+  ``obs.trace.dropped``) rather than silently growing or silently
+  truncating.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.using_tracer() as tracer:
+        with trace.span("runtime.epoch", epoch=0) as sp:
+            with trace.span("runtime.phase.solve"):
+                ...
+            sp.tag(status="converged")
+    records = tracer.to_records()          # JSONL-ready span dicts
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "SpanTracer",
+    "get_tracer",
+    "set_tracer",
+    "using_tracer",
+    "span",
+    "current_span_id",
+    "tag_current",
+]
+
+
+class Span:
+    """One open (then finished) traced region.
+
+    Created by :meth:`SpanTracer.span` — not directly.  Used as a
+    context manager; :meth:`tag` attaches/overwrites tags while open
+    (tags recorded at close time are what the trace keeps).
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "tags", "start_s",
+                 "end_s", "_tracer")
+
+    def __init__(self, tracer: "SpanTracer", span_id: str,
+                 parent_id: Optional[str], name: str,
+                 tags: Dict[str, object], start_s: float) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = tags
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+
+    def tag(self, **tags: object) -> "Span":
+        """Attach (or overwrite) tags; chainable."""
+        self.tags.update(tags)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else self.start_s
+        return end - self.start_s
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "record": "span",
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+        }
+
+
+class NullSpan:
+    """Shared do-nothing span for the disabled path (zero-cost)."""
+
+    __slots__ = ()
+
+    span_id = ""
+    parent_id = None
+    name = ""
+    duration_s = 0.0
+
+    def tag(self, **tags: object) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class SpanTracer:
+    """Collects a bounded tree of spans with deterministic ids.
+
+    The clock is injectable for deterministic tests; ids depend only on
+    span-open order, never on the clock.  Not thread-safe by design —
+    each :class:`~repro.perf.parallel.ParallelSweep` worker process gets
+    its own tracer (like its own metrics registry).
+    """
+
+    def __init__(
+        self,
+        max_spans: int = 100_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.max_spans = int(max_spans)
+        self._clock = clock
+        self._origin = clock()
+        self._next = 0
+        self._stack: List[Span] = []
+        self.finished: List[Span] = []
+        self.dropped = 0
+        self.opened = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **tags: object) -> Span:
+        """Open a child of the innermost open span (root when none)."""
+        return self._open(name, tags)
+
+    def _open(self, name: str, tags: Dict[str, object]) -> Span:
+        """Hot path: ``tags`` is owned by the span, not copied."""
+        self._next += 1
+        self.opened += 1
+        stack = self._stack
+        parent = stack[-1].span_id if stack else None
+        sp = Span(
+            self, f"s{self._next}", parent, name, tags,
+            self._clock() - self._origin,
+        )
+        stack.append(sp)
+        return sp
+
+    def _finish(self, sp: Span) -> None:
+        sp.end_s = self._clock() - self._origin
+        # Spans close innermost-first under context-manager discipline;
+        # tolerate (and repair) a missed exit by popping through it.
+        while self._stack:
+            top = self._stack.pop()
+            if top is sp:
+                break
+        if len(self.finished) < self.max_spans:
+            self.finished.append(sp)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open span, or ``None`` at the root."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """JSONL-ready records of every finished span, in close order."""
+        return [sp.to_record() for sp in self.finished]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "opened": self.opened,
+            "finished": len(self.finished),
+            "dropped": self.dropped,
+            "open": len(self._stack),
+        }
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+        self.dropped = 0
+        self.opened = 0
+        self._next = 0
+
+
+# ----------------------------------------------------------------------
+# Module-level active tracer + zero-overhead-when-off helpers
+# ----------------------------------------------------------------------
+
+_active: Optional[SpanTracer] = None
+
+
+def get_tracer() -> Optional[SpanTracer]:
+    """The currently active tracer, or ``None`` when tracing is off."""
+    return _active
+
+
+def set_tracer(tracer: Optional[SpanTracer]) -> Optional[SpanTracer]:
+    """Install ``tracer`` as the active one (``None`` disables tracing)."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+class using_tracer:
+    """Context manager: activate a tracer, restore the previous on exit.
+
+    >>> with using_tracer() as tracer:
+    ...     with span("demo"):
+    ...         pass
+    >>> tracer.finished[0].name
+    'demo'
+    """
+
+    def __init__(self, tracer: Optional[SpanTracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self._previous: Optional[SpanTracer] = None
+
+    def __enter__(self) -> SpanTracer:
+        self._previous = get_tracer()
+        set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: object) -> bool:
+        set_tracer(self._previous)
+        return False
+
+
+def span(name: str, **tags: object):
+    """Open a span named ``name``; the shared no-op span when tracing is off."""
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer._open(name, tags)
+
+
+def current_span_id() -> Optional[str]:
+    """Innermost open span id, or ``None`` (tracing off / at the root).
+
+    Instrumentation uses this to stamp *metrics* with trace context —
+    e.g. a stale warm-basis fallback event carries the span id of the
+    LP solve that triggered it, so the fallback is attributable to a
+    specific epoch/probe in the trace tree.
+    """
+    tracer = _active
+    if tracer is None:
+        return None
+    return tracer.current_span_id()
+
+
+def tag_current(**tags: object) -> None:
+    """Tag the innermost open span from code that did not open it.
+
+    Lets deep helpers (e.g. the warm-start installer inside the simplex
+    solver) annotate the enclosing solve span without threading span
+    objects through their signatures.  No-op when tracing is off or no
+    span is open.
+    """
+    tracer = _active
+    if tracer is not None and tracer._stack:
+        tracer._stack[-1].tags.update(tags)

@@ -15,7 +15,12 @@ merged output is bit-identical to running the same tasks serially:
   :meth:`~repro.obs.registry.MetricsRegistry.mergeable_snapshot` home,
   which the parent folds into the active registry in task order —
   ``perf.*`` counters therefore match the serial run (timers keep their
-  own measured, machine-dependent times).
+  own measured, machine-dependent times);
+* each worker likewise runs under its own private
+  :class:`~repro.obs.events.EventBus` (source ``task<i>``) and ships its
+  pending events home; the parent absorbs the buffers in submission
+  order, so the merged event stream — and any JSONL file it is being
+  streamed to — is deterministic and never contains torn lines.
 
 ``jobs=1`` (or an unavailable process pool — sandboxes without fork)
 degrades to the plain serial loop over the same function, which is also
@@ -27,6 +32,7 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs.events import EventBus, get_event_bus, using_event_bus
 from ..obs.registry import get_registry, incr, phase_timer, using_registry
 
 __all__ = ["ParallelSweep", "effective_jobs"]
@@ -39,12 +45,24 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
-def _worker(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[Any, dict]:
-    """Run one task under a private registry; return (result, metrics)."""
-    fn, item = payload
+def _worker(
+    payload: Tuple[Callable[[Any], Any], Any, int]
+) -> Tuple[Any, dict, list]:
+    """Run one task under a private registry and event bus.
+
+    Returns ``(result, metrics, events)``.  The private in-memory bus
+    keeps worker events out of any file the parent may be streaming to;
+    the parent absorbs the shipped buffers in task-submission order, so
+    the merged stream is deterministic regardless of which worker
+    finished first.  Worker-side ``obs.events.dropped`` increments ride
+    home inside the metrics snapshot.
+    """
+    fn, item, index = payload
     with using_registry() as reg:
-        result = fn(item)
-    return result, reg.mergeable_snapshot()
+        with using_event_bus(EventBus(source=f"task{index}")) as bus:
+            result = fn(item)
+            events = bus.drain()
+    return result, reg.mergeable_snapshot(), events
 
 
 class ParallelSweep:
@@ -77,8 +95,22 @@ class ParallelSweep:
     # ------------------------------------------------------------------
     def _serial(self, fn: Callable[[Any], Any],
                 items: Sequence[Any]) -> List[Any]:
+        parent_bus = get_event_bus()
+        results: List[Any] = []
         with phase_timer("perf.parallel.sweep"):
-            results = [fn(item) for item in items]
+            if parent_bus is None:
+                results = [fn(item) for item in items]
+            else:
+                # Mirror the pooled path's per-task buses so a jobs=1
+                # run and a pooled run merge the *same* event stream
+                # (same sources, same seqs, same order).
+                for index, item in enumerate(items):
+                    with using_event_bus(
+                        EventBus(source=f"task{index}")
+                    ) as bus:
+                        results.append(fn(item))
+                        events = bus.drain()
+                    parent_bus.absorb(events)
         incr("perf.parallel.tasks", len(items))
         incr("perf.parallel.serial_runs")
         return results
@@ -88,6 +120,7 @@ class ParallelSweep:
         from concurrent.futures import ProcessPoolExecutor
 
         parent = get_registry()
+        parent_bus = get_event_bus()
         results: List[Any] = []
         with phase_timer("perf.parallel.sweep"):
             with ProcessPoolExecutor(
@@ -95,12 +128,15 @@ class ParallelSweep:
             ) as pool:
                 # Executor.map yields in submission order regardless of
                 # completion order — the deterministic-merge guarantee.
-                for result, metrics in pool.map(
-                    _worker, [(fn, item) for item in items]
+                for result, metrics, events in pool.map(
+                    _worker,
+                    [(fn, item, i) for i, item in enumerate(items)],
                 ):
                     results.append(result)
                     if parent is not None:
                         parent.merge_snapshot(metrics)
+                    if parent_bus is not None:
+                        parent_bus.absorb(events)
         incr("perf.parallel.tasks", len(items))
         incr("perf.parallel.pool_runs")
         return results

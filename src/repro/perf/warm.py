@@ -26,6 +26,7 @@ from typing import Hashable, Optional, Tuple
 from ..lp.problem import LinearProgram, LPSolution
 from ..lp.simplex import Basis, solve_simplex
 from ..obs.registry import incr, phase_timer
+from ..obs.trace import span
 
 __all__ = ["WarmLPCache", "lp_structure_signature"]
 
@@ -153,16 +154,19 @@ class WarmLPCache:
         the basis (resolvable labels, nonsingular, feasible) and falls
         back to a cold solve, so a bad guess can only cost time.
         """
-        with phase_timer("perf.lp.warm.solve"):
+        with phase_timer("perf.lp.warm.solve"), \
+                span("lp.warm.solve") as warm_span:
             vars_sig, cons_sig = lp_structure_signature(lp)
             key = (vars_sig, cons_sig)
             start = self._get(key)
             if start is not None:
                 self.hits += 1
                 incr("perf.lp.warm.hits")
+                warm_span.tag(path="hit")
             else:
                 self.misses += 1
                 incr("perf.lp.warm.misses")
+                warm_span.tag(path="miss")
                 latest = self._latest.get(vars_sig)
                 if latest is not None:
                     prev_cons, prev_basis = latest
@@ -172,6 +176,7 @@ class WarmLPCache:
                             ("s", i) for i in range(k, len(cons_sig))
                         )
                         incr("perf.lp.warm.extends")
+                        warm_span.tag(path="extend")
                         _LOG.debug(
                             "extending %d-row warm basis with %d slack "
                             "column(s) for a prefix-compatible LP",

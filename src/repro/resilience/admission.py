@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional
 
 from ..core.contention import ContentionAnalysis
-from ..obs.registry import incr
+from ..obs.registry import incr, set_gauge
 from .degrade import global_basic_shares
 
 __all__ = [
@@ -110,6 +110,9 @@ class AdmissionController:
     max_queue: int = 32
     waiting: Deque[str] = field(default_factory=deque)
     decisions: List[AdmissionDecision] = field(default_factory=list)
+    #: Epoch each waiting flow was queued at — the basis of the
+    #: queue-age gauges and checkpointed alongside the queue itself.
+    queued_epoch: Dict[str, int] = field(default_factory=dict)
 
     def decide(self, flow_id: str, epoch: int, reason: str,
                details: str = "") -> AdmissionDecision:
@@ -120,6 +123,7 @@ class AdmissionController:
         elif self.queue_rejected and flow_id not in self.waiting:
             if len(self.waiting) < self.max_queue:
                 self.waiting.append(flow_id)
+                self.queued_epoch[flow_id] = epoch
                 decision = AdmissionDecision(flow_id, epoch, QUEUE,
                                              reason, details)
             else:
@@ -151,16 +155,45 @@ class AdmissionController:
             self.waiting.remove(flow_id)
         except ValueError:
             pass
+        self.queued_epoch.pop(flow_id, None)
+
+    def observe_queue(self, epoch: int) -> None:
+        """Publish queue-state gauges as of ``epoch``.
+
+        ``admission.queue.depth`` is the waiting count;
+        ``admission.queue.age_max`` / ``age_mean`` are epochs spent
+        waiting (0 for a flow queued this epoch).  Flows restored from a
+        pre-gauge checkpoint that lack a queue timestamp count as age 0
+        rather than inventing one.
+        """
+        set_gauge("admission.queue.depth", len(self.waiting))
+        ages = [
+            max(0, epoch - self.queued_epoch.get(fid, epoch))
+            for fid in self.waiting
+        ]
+        set_gauge("admission.queue.age_max", max(ages) if ages else 0)
+        set_gauge(
+            "admission.queue.age_mean",
+            (sum(ages) / len(ages)) if ages else 0.0,
+        )
 
     def snapshot(self) -> Dict[str, object]:
         """Serializable controller state for checkpoints."""
         return {
             "waiting": list(self.waiting),
+            "queued_epoch": {
+                fid: self.queued_epoch[fid]
+                for fid in sorted(self.queued_epoch)
+            },
             "decisions": [d.to_dict() for d in self.decisions],
         }
 
     def restore(self, doc: Mapping[str, object]) -> None:
         self.waiting = deque(str(f) for f in doc.get("waiting", []))
+        self.queued_epoch = {
+            str(f): int(e)
+            for f, e in doc.get("queued_epoch", {}).items()
+        }
         self.decisions = [
             AdmissionDecision(
                 flow_id=str(d["flow"]),

@@ -38,7 +38,9 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.model import NodeId, SubflowId
+from ..obs.events import emit_event
 from ..obs.registry import incr, observe, set_gauge
+from ..obs.trace import span
 from .faults import FaultInjector
 
 __all__ = [
@@ -176,7 +178,24 @@ class UnreliableChannel:
         }
         total_messages = 0
         for flow in allocator.scenario.flows:
-            result = self._propagate_flow(allocator.views, flow)
+            with span("2pad.flow", flow=flow.flow_id,
+                      lossy=True) as flow_span:
+                result = self._propagate_flow(allocator.views, flow)
+                flow_span.tag(
+                    status=result["status"],
+                    rounds=result["rounds"],
+                    messages=result["messages"],
+                    undeliverable=result["undeliverable"],
+                )
+            if (result["status"] != CONVERGED
+                    or result["undeliverable"]):
+                emit_event(
+                    "channel.flow",
+                    flow=flow.flow_id,
+                    status=result["status"],
+                    rounds=result["rounds"],
+                    undeliverable=result["undeliverable"],
+                )
             rounds_per_flow[flow.flow_id] = result["rounds"]
             per_flow[flow.flow_id] = result
             total_messages += result["messages"]

@@ -34,7 +34,9 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Union
 
-from ..obs.registry import incr
+from ..obs.events import emit_event
+from ..obs.registry import incr, phase_timer
+from ..obs.trace import span
 
 __all__ = [
     "CheckpointError",
@@ -79,31 +81,36 @@ def save_checkpoint(payload: Dict, path: Union[str, Path]) -> str:
     POSIX recipe for an all-or-nothing file swap.
     """
     path = Path(path)
-    canonical = _canonical(payload)
-    digest = _digest(canonical)
-    envelope = {
-        "kind": CHECKPOINT_KIND,
-        "schema": SCHEMA_VERSION,
-        "sha256": digest,
-        "payload": payload,
-    }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(envelope, handle, sort_keys=True, indent=1)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, str(path))
-    except BaseException:
+    with phase_timer("checkpoint.save"), \
+            span("checkpoint.save") as save_span:
+        canonical = _canonical(payload)
+        digest = _digest(canonical)
+        envelope = {
+            "kind": CHECKPOINT_KIND,
+            "schema": SCHEMA_VERSION,
+            "sha256": digest,
+            "payload": payload,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+        )
         try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, sort_keys=True, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, str(path))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        save_span.tag(bytes=len(canonical))
     incr("checkpoint.save")
+    emit_event("checkpoint.save", bytes=len(canonical),
+               sha256=digest[:12])
     return digest
 
 
@@ -116,35 +123,45 @@ def load_checkpoint(path: Union[str, Path]) -> Dict:
     normal first-boot condition, not corruption).
     """
     path = Path(path)
-    text = path.read_text()
-    try:
-        envelope = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise CheckpointCorruptError(
-            f"{path}: not valid JSON ({exc})"
-        ) from exc
-    if not isinstance(envelope, dict):
-        raise CheckpointCorruptError(f"{path}: envelope is not an object")
-    if envelope.get("kind") != CHECKPOINT_KIND:
-        raise CheckpointCorruptError(
-            f"{path}: kind {envelope.get('kind')!r} != "
-            f"{CHECKPOINT_KIND!r}"
-        )
-    schema = envelope.get("schema")
-    if schema != SCHEMA_VERSION:
-        raise CheckpointSchemaError(
-            f"{path}: schema {schema!r}, this build reads "
-            f"{SCHEMA_VERSION}"
-        )
-    payload = envelope.get("payload")
-    if not isinstance(payload, dict):
-        raise CheckpointCorruptError(f"{path}: payload is not an object")
-    expected = envelope.get("sha256")
-    actual = _digest(_canonical(payload))
-    if actual != expected:
-        raise CheckpointCorruptError(
-            f"{path}: payload checksum mismatch "
-            f"(stored {str(expected)[:12]}…, computed {actual[:12]}…)"
-        )
+    with phase_timer("checkpoint.restore"), \
+            span("checkpoint.restore") as restore_span:
+        text = path.read_text()
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruptError(
+                f"{path}: not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(envelope, dict):
+            raise CheckpointCorruptError(
+                f"{path}: envelope is not an object"
+            )
+        if envelope.get("kind") != CHECKPOINT_KIND:
+            raise CheckpointCorruptError(
+                f"{path}: kind {envelope.get('kind')!r} != "
+                f"{CHECKPOINT_KIND!r}"
+            )
+        schema = envelope.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise CheckpointSchemaError(
+                f"{path}: schema {schema!r}, this build reads "
+                f"{SCHEMA_VERSION}"
+            )
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            raise CheckpointCorruptError(
+                f"{path}: payload is not an object"
+            )
+        expected = envelope.get("sha256")
+        canonical = _canonical(payload)
+        actual = _digest(canonical)
+        if actual != expected:
+            raise CheckpointCorruptError(
+                f"{path}: payload checksum mismatch "
+                f"(stored {str(expected)[:12]}…, computed {actual[:12]}…)"
+            )
+        restore_span.tag(bytes=len(canonical))
     incr("checkpoint.restore")
+    emit_event("checkpoint.restore", bytes=len(canonical),
+               sha256=actual[:12])
     return payload

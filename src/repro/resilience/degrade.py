@@ -43,6 +43,7 @@ from ..core.fairness_defs import basic_shares
 from ..lp.problem import LinearProgram, LPSolution
 from ..lp.simplex import solve_simplex
 from ..obs.registry import incr
+from ..obs.trace import span
 from ..perf.warm import WarmLPCache
 
 __all__ = [
@@ -294,23 +295,31 @@ class ResilientLPBackend:
 
     def __call__(self, lp: LinearProgram) -> LPSolution:
         last_error: Optional[BaseException] = None
-        for name, fn in self._stages():
-            try:
-                solution = fn(lp)
-            except Exception as exc:
-                last_error = exc
-                solution = None
-            if solution is not None and self._well_formed(solution):
-                self.served[name] += 1
-                return solution
-            self.fallbacks += 1
-            incr("resilience.lp.fallback")
-            incr(f"resilience.lp.fallback.{name}")
-            _LOG.debug(
-                "LP backend stage %r failed (%s); falling back",
-                name,
-                last_error if last_error is not None else "malformed solution",
-            )
+        with span("lp.resilient") as chain_span:
+            for name, fn in self._stages():
+                with span(f"lp.resilient.{name}") as stage_span:
+                    try:
+                        solution = fn(lp)
+                    except Exception as exc:
+                        last_error = exc
+                        solution = None
+                    ok = (solution is not None
+                          and self._well_formed(solution))
+                    stage_span.tag(served=ok)
+                if ok:
+                    self.served[name] += 1
+                    chain_span.tag(served_by=name)
+                    return solution
+                self.fallbacks += 1
+                incr("resilience.lp.fallback")
+                incr(f"resilience.lp.fallback.{name}")
+                _LOG.debug(
+                    "LP backend stage %r failed (%s); falling back",
+                    name,
+                    last_error if last_error is not None
+                    else "malformed solution",
+                )
+            chain_span.tag(served_by="none")
         raise RuntimeError(
             f"every LP backend stage failed; last error: {last_error!r}"
         )

@@ -56,6 +56,7 @@ from the last checkpoint and replays to a bitwise-identical state
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import (
     Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set,
@@ -66,7 +67,9 @@ from ..core.allocation import basic_fairness_lp_allocation
 from ..core.contention import ContentionAnalysis
 from ..core.distributed import DistributedAllocator
 from ..core.model import Flow, Network, Scenario
-from ..obs.registry import incr, phase_timer
+from ..obs.events import emit_event
+from ..obs.registry import incr, observe, phase_timer
+from ..obs.trace import span
 from ..perf.incremental import IncrementalContention
 from ..perf.warm import WarmLPCache
 from ..routing.dsr import DsrProtocol
@@ -475,13 +478,34 @@ class AllocatorRuntime:
     def advance(
         self, events: Sequence[ChurnEvent] = ()
     ) -> EpochRecord:
-        """Run one epoch; returns the committed record."""
+        """Run one epoch; returns the committed record.
+
+        The whole pipeline (stage + commit) runs under the
+        ``runtime.epoch`` timer and span; each of the eight phases
+        opens its own ``runtime.phase.*`` child inside.  Wall latency
+        of the complete epoch feeds the ``runtime.epoch.latency_ms``
+        histogram the SLO report summarizes.
+        """
         epoch = self.epoch + 1
-        with phase_timer("runtime.epoch"):
+        t0 = time.perf_counter()
+        with phase_timer("runtime.epoch"), \
+                span("runtime.epoch", epoch=epoch) as epoch_span:
             staged = self._stage(epoch, events)
-        if self.crash_hook is not None:
-            self.crash_hook("staged", epoch)
-        self._commit(*staged)
+            if self.crash_hook is not None:
+                self.crash_hook("staged", epoch)
+            with phase_timer("runtime.phase.commit"), \
+                    span("runtime.phase.commit"):
+                self._commit(*staged)
+            record = staged[0]
+            epoch_span.tag(
+                status=record.status,
+                active=len(record.active),
+                damped=record.damped,
+                fallback_basic=record.fallback_basic,
+            )
+        observe(
+            "runtime.epoch.latency_ms", (time.perf_counter() - t0) * 1e3
+        )
         return staged[0]
 
     def run_timeline(self, timeline: ChurnTimeline) -> List[EpochRecord]:
@@ -536,98 +560,128 @@ class AllocatorRuntime:
         arrivals: List[str] = []
         applied: List[Dict] = []
 
-        for ev in sorted(events, key=ChurnEvent.sort_key):
-            ok = True
-            if ev.kind in ("node-up", "node-down"):
-                if ev.node in known_nodes:
-                    (down_nodes.discard if ev.kind == "node-up"
-                     else down_nodes.add)(ev.node)
+        # Phase 1 — APPLY: fold the event batch into the staged sets.
+        with phase_timer("runtime.phase.apply"), \
+                span("runtime.phase.apply") as apply_span:
+            for ev in sorted(events, key=ChurnEvent.sort_key):
+                ok = True
+                if ev.kind in ("node-up", "node-down"):
+                    if ev.node in known_nodes:
+                        (down_nodes.discard if ev.kind == "node-up"
+                         else down_nodes.add)(ev.node)
+                    else:
+                        ok = False
+                elif ev.kind in ("link-up", "link-down"):
+                    if all(n in known_nodes for n in ev.link):
+                        (down_links.discard if ev.kind == "link-up"
+                         else down_links.add)(ev.link)
+                    else:
+                        ok = False
+                elif ev.kind == "flow-down":
+                    if ev.flow in self._base_index:
+                        active.discard(ev.flow)
+                        admitted.pop(ev.flow, None)
+                        self.admission.drop_waiting(ev.flow)
+                    else:
+                        ok = False
+                elif ev.kind == "flow-up":
+                    if (ev.flow in self._base_index
+                            and ev.flow not in active
+                            and ev.flow not in arrivals):
+                        arrivals.append(ev.flow)
+                    elif ev.flow not in self._base_index:
+                        ok = False
+                if ok:
+                    applied.append(ev.to_dict())
                 else:
-                    ok = False
-            elif ev.kind in ("link-up", "link-down"):
-                if all(n in known_nodes for n in ev.link):
-                    (down_links.discard if ev.kind == "link-up"
-                     else down_links.add)(ev.link)
-                else:
-                    ok = False
-            elif ev.kind == "flow-down":
-                if ev.flow in self._base_index:
-                    active.discard(ev.flow)
-                    admitted.pop(ev.flow, None)
-                    self.admission.drop_waiting(ev.flow)
-                else:
-                    ok = False
-            elif ev.kind == "flow-up":
-                if (ev.flow in self._base_index and ev.flow not in active
-                        and ev.flow not in arrivals):
-                    arrivals.append(ev.flow)
-                elif ev.flow not in self._base_index:
-                    ok = False
-            if ok:
-                applied.append(ev.to_dict())
-            else:
-                skipped += 1
-                incr("runtime.epoch.skipped_events")
+                    skipped += 1
+                    incr("runtime.epoch.skipped_events")
+            apply_span.tag(applied=len(applied), skipped=skipped)
 
-        topo = self._topology(down_links, down_nodes)
-
-        # Suspend active flows the new topology cannot carry.
-        suspended: List[str] = []
-        for fid in sorted(active & set(topo.unroutable),
-                          key=self._base_index.get):
-            active.discard(fid)
-            admitted.pop(fid, None)
-            suspended.append(fid)
-            self.admission.decide(
-                fid, epoch, topo.unroutable[fid],
-                "active flow lost its path",
+        # Phase 2 — DIFF: resolve the topology for the staged outage sets
+        # (cache hit or full rebuild).
+        with phase_timer("runtime.phase.diff"), \
+                span("runtime.phase.diff") as diff_span:
+            topo = self._topology(down_links, down_nodes)
+            diff_span.tag(
+                pristine=topo.pristine,
+                routable=len(topo.routed),
+                unroutable=len(topo.unroutable),
             )
-        rerouted = topo.ordered(active & topo.rerouted)
 
-        # Suspend newest-first until the survivors' basic floors fit —
-        # a topology change can shrink cliques around flows admitted
-        # under roomier conditions (only reachable with shortcut paths;
-        # DSR repairs and generated flows are shortcut-free).
-        if self.config.admission and active:
-            for _ in range(len(active)):
-                analysis = topo.analysis_of(
-                    topo.ordered(active),
-                    name=f"{self.scenario.name}-floors",
-                )
-                if basic_share_feasible(analysis):
-                    break
-                victim = max(
-                    active,
-                    key=lambda f: (admitted.get(f, -1),
-                                   self._base_index[f]),
-                )
-                active.discard(victim)
-                admitted.pop(victim, None)
-                suspended.append(victim)
+        # Phase 3 — SUSPEND: park active flows the new topology cannot
+        # carry, then shrink newest-first until the floors fit.
+        with phase_timer("runtime.phase.suspend"), \
+                span("runtime.phase.suspend") as suspend_span:
+            suspended: List[str] = []
+            for fid in sorted(active & set(topo.unroutable),
+                              key=self._base_index.get):
+                active.discard(fid)
+                admitted.pop(fid, None)
+                suspended.append(fid)
                 self.admission.decide(
-                    victim, epoch, REASON_FLOOR,
-                    "topology change made the active floors infeasible",
+                    fid, epoch, topo.unroutable[fid],
+                    "active flow lost its path",
                 )
+            rerouted = topo.ordered(active & topo.rerouted)
 
-        # FIFO retry of the waiting queue, then this epoch's arrivals.
-        for fid in list(self.admission.waiting):
-            if fid in active:
-                self.admission.drop_waiting(fid)
-                continue
-            if fid in suspended:
-                continue  # just parked this epoch; retry next one
-            reason, _details = self._admission_reason(topo, active, fid)
-            if reason == REASON_OK:
-                self.admission.readmit(fid, epoch)
-                active.add(fid)
-                admitted[fid] = epoch
-        for fid in arrivals:
-            reason, details = self._admission_reason(topo, active, fid)
-            decision = self.admission.decide(fid, epoch, reason, details)
-            if decision.action == ADMIT:
-                active.add(fid)
-                admitted[fid] = epoch
+            # Suspend newest-first until the survivors' basic floors fit —
+            # a topology change can shrink cliques around flows admitted
+            # under roomier conditions (only reachable with shortcut
+            # paths; DSR repairs and generated flows are shortcut-free).
+            if self.config.admission and active:
+                for _ in range(len(active)):
+                    analysis = topo.analysis_of(
+                        topo.ordered(active),
+                        name=f"{self.scenario.name}-floors",
+                    )
+                    if basic_share_feasible(analysis):
+                        break
+                    victim = max(
+                        active,
+                        key=lambda f: (admitted.get(f, -1),
+                                       self._base_index[f]),
+                    )
+                    active.discard(victim)
+                    admitted.pop(victim, None)
+                    suspended.append(victim)
+                    self.admission.decide(
+                        victim, epoch, REASON_FLOOR,
+                        "topology change made the active floors "
+                        "infeasible",
+                    )
+            suspend_span.tag(suspended=len(suspended),
+                             rerouted=len(rerouted))
 
+        # Phase 4 — ADMIT: FIFO retry of the waiting queue, then this
+        # epoch's arrivals; publish queue-state gauges afterwards.
+        with phase_timer("runtime.phase.admit"), \
+                span("runtime.phase.admit") as admit_span:
+            for fid in list(self.admission.waiting):
+                if fid in active:
+                    self.admission.drop_waiting(fid)
+                    continue
+                if fid in suspended:
+                    continue  # just parked this epoch; retry next one
+                reason, _details = self._admission_reason(topo, active,
+                                                          fid)
+                if reason == REASON_OK:
+                    self.admission.readmit(fid, epoch)
+                    active.add(fid)
+                    admitted[fid] = epoch
+            for fid in arrivals:
+                reason, details = self._admission_reason(topo, active,
+                                                         fid)
+                decision = self.admission.decide(fid, epoch, reason,
+                                                 details)
+                if decision.action == ADMIT:
+                    active.add(fid)
+                    admitted[fid] = epoch
+            self.admission.observe_queue(epoch)
+            admit_span.tag(arrivals=len(arrivals),
+                           queue_depth=len(self.admission.waiting))
+
+        # Phases 5–7 — SOLVE / DAMPEN / VALIDATE live in _solve.
         shares, status, checks, convergence, damped, fallback = (
             self._solve(epoch, topo, active)
         )
@@ -655,127 +709,154 @@ class AllocatorRuntime:
     def _solve(
         self, epoch: int, topo: _TopologyState, active: Set[str]
     ):
-        ids = topo.ordered(active)
-        if not ids:
-            return {}, "empty", [], {}, False, False
+        # Phase 5 — SOLVE: memo hit, centralized warm/cold LP, or full
+        # 2PA-D, tagged with the path taken.
+        with phase_timer("runtime.phase.solve"), \
+                span("runtime.phase.solve") as solve_span:
+            ids = topo.ordered(active)
+            if not ids:
+                solve_span.tag(path="empty", flows=0)
+                return {}, "empty", [], {}, False, False
 
-        analysis = topo.analysis_of(
-            ids, name=f"{self.scenario.name}-active"
-        )
-        lossless = self.config.loss == 0.0 and self.config.crash_prob == 0.0
-        memo_ok = self._memo is not None and (
-            self.config.mode == "centralized" or lossless
-        )
-        memo_key = (topo.key_str, frozenset(ids))
-        convergence: Dict[str, object] = {}
+            analysis = topo.analysis_of(
+                ids, name=f"{self.scenario.name}-active"
+            )
+            lossless = (self.config.loss == 0.0
+                        and self.config.crash_prob == 0.0)
+            memo_ok = self._memo is not None and (
+                self.config.mode == "centralized" or lossless
+            )
+            memo_key = (topo.key_str, frozenset(ids))
+            convergence: Dict[str, object] = {}
 
-        if memo_ok and memo_key in self._memo:
-            entry = self._memo[memo_key]
-            raw = dict(entry["shares"])
-            status = str(entry["status"])
-            incr("runtime.alloc.memo_hits")
-        elif self.config.mode == "centralized":
-            backend = (self._warm.solver if self._warm is not None
-                       else "simplex")
-            with phase_timer("runtime.alloc.solve"):
-                raw = dict(basic_fairness_lp_allocation(
-                    analysis, backend=backend
-                ).shares)
-            status = "converged"
-            if memo_ok:
-                self._memo[memo_key] = {"shares": dict(raw),
-                                        "status": status}
-        else:
-            # Distributed 2PA-D through the PR-4 resilience stack.  A
-            # fresh registry per epoch keyed only by (seed, prefix,
-            # epoch) keeps the draw pure: replay after restore consumes
-            # identical streams regardless of what ran before.
-            registry = RngRegistry(self.config.seed)
-            prefix = tuple(self.config.stream_prefix) + (epoch,)
-            if lossless:
-                plan = FaultPlan()
+            if memo_ok and memo_key in self._memo:
+                entry = self._memo[memo_key]
+                raw = dict(entry["shares"])
+                status = str(entry["status"])
+                incr("runtime.alloc.memo_hits")
+                solve_span.tag(path="memo")
+            elif self.config.mode == "centralized":
+                backend = (self._warm.solver if self._warm is not None
+                           else "simplex")
+                with phase_timer("runtime.alloc.solve"):
+                    raw = dict(basic_fairness_lp_allocation(
+                        analysis, backend=backend
+                    ).shares)
+                status = "converged"
+                if memo_ok:
+                    self._memo[memo_key] = {"shares": dict(raw),
+                                            "status": status}
+                solve_span.tag(
+                    path="centralized",
+                    warm=self._warm is not None,
+                )
             else:
-                plan = FaultPlan.draw(
-                    registry.stream(prefix + ("plan",)),
-                    nodes=topo.network.nodes,
-                    loss=self.config.loss,
-                    crash_prob=self.config.crash_prob,
+                # Distributed 2PA-D through the PR-4 resilience stack.  A
+                # fresh registry per epoch keyed only by (seed, prefix,
+                # epoch) keeps the draw pure: replay after restore
+                # consumes identical streams regardless of what ran
+                # before.
+                registry = RngRegistry(self.config.seed)
+                prefix = tuple(self.config.stream_prefix) + (epoch,)
+                if lossless:
+                    plan = FaultPlan()
+                else:
+                    plan = FaultPlan.draw(
+                        registry.stream(prefix + ("plan",)),
+                        nodes=topo.network.nodes,
+                        loss=self.config.loss,
+                        crash_prob=self.config.crash_prob,
+                    )
+                injector = FaultInjector(
+                    plan, registry, prefix=prefix + ("channel",)
                 )
-            injector = FaultInjector(
-                plan, registry, prefix=prefix + ("channel",)
-            )
-            channel = UnreliableChannel(
-                injector,
-                max_retries=self.config.max_retries,
-                max_rounds=self.config.max_rounds,
-            )
-            backend = ResilientLPBackend(cache=self._warm)
-            with phase_timer("runtime.alloc.solve"):
-                allocator = DistributedAllocator(
-                    analysis.scenario, backend=backend,
-                    analysis=analysis, channel=channel,
+                channel = UnreliableChannel(
+                    injector,
+                    max_retries=self.config.max_retries,
+                    max_rounds=self.config.max_rounds,
                 )
-                raw = dict(allocator.run().shares)
-            status = str(allocator.convergence.get("status", "unknown"))
-            per_flow = allocator.convergence.get("per_flow", {})
-            convergence = {
-                "status": status,
-                "max_rounds": allocator.convergence.get("max_rounds"),
-                "total_messages": allocator.convergence.get(
-                    "total_messages"
-                ),
-                "unconfirmed": sum(
-                    1 for info in per_flow.values()
-                    if not info.get("confirmed")
-                ),
-            }
-            if memo_ok:
-                self._memo[memo_key] = {"shares": dict(raw),
-                                        "status": status}
+                backend = ResilientLPBackend(cache=self._warm)
+                with phase_timer("runtime.alloc.solve"):
+                    allocator = DistributedAllocator(
+                        analysis.scenario, backend=backend,
+                        analysis=analysis, channel=channel,
+                    )
+                    raw = dict(allocator.run().shares)
+                status = str(
+                    allocator.convergence.get("status", "unknown")
+                )
+                per_flow = allocator.convergence.get("per_flow", {})
+                convergence = {
+                    "status": status,
+                    "max_rounds": allocator.convergence.get("max_rounds"),
+                    "total_messages": allocator.convergence.get(
+                        "total_messages"
+                    ),
+                    "unconfirmed": sum(
+                        1 for info in per_flow.values()
+                        if not info.get("confirmed")
+                    ),
+                }
+                if memo_ok:
+                    self._memo[memo_key] = {"shares": dict(raw),
+                                            "status": status}
+                solve_span.tag(path="distributed")
+            solve_span.tag(flows=len(ids), status=status)
 
-        shares = dict(raw)
-        floors = global_basic_shares(analysis)
-        damped = False
-        h = self.config.hysteresis
-        if h is not None and self.shares:
-            for fid in shares:
-                prev = self.shares.get(fid)
-                if prev is None:
-                    continue  # new/readmitted flow: no rate to protect
-                bounded = min(max(shares[fid], prev * (1.0 - h)),
-                              prev * (1.0 + h))
-                # Damping must never hold a flow below the floor its
-                # solver share already cleared (Sec. II-D is an
-                # invariant, smoothness is not).
-                bounded = max(bounded, min(raw[fid],
-                                           floors.get(fid, 0.0)))
-                if bounded != shares[fid]:
-                    shares[fid] = bounded
-                    damped = True
-            if damped:
-                incr("runtime.epoch.damped")
-                shares, _clamped = enforce_clique_capacity(
-                    analysis, shares, floors=floors
-                )
+        # Phase 6 — DAMPEN: hysteresis-bounded movement, never below the
+        # cleared floor, re-governed for clique capacity when it bites.
+        with phase_timer("runtime.phase.dampen"), \
+                span("runtime.phase.dampen") as dampen_span:
+            shares = dict(raw)
+            floors = global_basic_shares(analysis)
+            damped = False
+            h = self.config.hysteresis
+            if h is not None and self.shares:
+                for fid in shares:
+                    prev = self.shares.get(fid)
+                    if prev is None:
+                        continue  # new/readmitted flow: no rate to protect
+                    bounded = min(max(shares[fid], prev * (1.0 - h)),
+                                  prev * (1.0 + h))
+                    # Damping must never hold a flow below the floor its
+                    # solver share already cleared (Sec. II-D is an
+                    # invariant, smoothness is not).
+                    bounded = max(bounded, min(raw[fid],
+                                               floors.get(fid, 0.0)))
+                    if bounded != shares[fid]:
+                        shares[fid] = bounded
+                        damped = True
+                if damped:
+                    incr("runtime.epoch.damped")
+                    shares, _clamped = enforce_clique_capacity(
+                        analysis, shares, floors=floors
+                    )
+            dampen_span.tag(damped=damped)
 
-        checks: List[List] = []
-        fallback = False
-        if self.config.validate:
-            cap = check_clique_capacity(analysis, shares,
-                                        tol=_VALIDATE_TOL)
-            floor = check_basic_fairness(analysis, shares)
-            if not (cap.ok and floor.ok):
-                fallback = True
-                incr("runtime.epoch.fallback_basic")
-                shares = dict(floors)
-                status = "fallback-basic"
+        # Phase 7 — VALIDATE: Eq. (6) + basic floors, falling back to
+        # the floor allocation when the solved shares fail.
+        with phase_timer("runtime.phase.validate"), \
+                span("runtime.phase.validate") as validate_span:
+            checks: List[List] = []
+            fallback = False
+            if self.config.validate:
                 cap = check_clique_capacity(analysis, shares,
                                             tol=_VALIDATE_TOL)
                 floor = check_basic_fairness(analysis, shares)
-            checks = [
-                ["epoch.clique_capacity", cap.ok, cap.details],
-                ["epoch.basic_floor", floor.ok, floor.details],
-            ]
+                if not (cap.ok and floor.ok):
+                    fallback = True
+                    incr("runtime.epoch.fallback_basic")
+                    shares = dict(floors)
+                    status = "fallback-basic"
+                    cap = check_clique_capacity(analysis, shares,
+                                                tol=_VALIDATE_TOL)
+                    floor = check_basic_fairness(analysis, shares)
+                checks = [
+                    ["epoch.clique_capacity", cap.ok, cap.details],
+                    ["epoch.basic_floor", floor.ok, floor.details],
+                ]
+            validate_span.tag(fallback_basic=fallback,
+                              checked=bool(checks))
         return shares, status, checks, convergence, damped, fallback
 
     # -- committing -----------------------------------------------------
@@ -801,6 +882,15 @@ class AllocatorRuntime:
             incr("runtime.epoch.reroutes", len(record.rerouted))
         if record.suspended:
             incr("runtime.epoch.suspended", len(record.suspended))
+        emit_event(
+            "epoch.commit",
+            epoch=record.epoch,
+            status=record.status,
+            active=len(record.active),
+            queued=len(record.queued),
+            damped=record.damped,
+            fallback_basic=record.fallback_basic,
+        )
         if self.crash_hook is not None:
             self.crash_hook("pre-checkpoint", record.epoch)
         if self.config.checkpoint_path is not None:

@@ -47,19 +47,30 @@ class TestRegistry:
         assert reg.counter("a") is reg.counters["a"]
 
     def test_histogram_percentiles(self):
+        # Hyndman–Fan type-7 interpolation: h = (n-1) * p/100, linear
+        # between the bracketing order statistics.
         reg = MetricsRegistry()
         hist = reg.histogram("h")
         for v in range(1, 101):  # 1..100
             hist.observe(v)
-        assert hist.percentile(50) == 50
-        assert hist.percentile(90) == 90
-        assert hist.percentile(99) == 99
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(90) == pytest.approx(90.1)
+        assert hist.percentile(99) == pytest.approx(99.01)
         assert hist.percentile(100) == 100
         assert hist.percentile(0) == 1
         summary = hist.summary()
         assert summary["count"] == 100
         assert summary["min"] == 1 and summary["max"] == 100
         assert summary["mean"] == pytest.approx(50.5)
+
+    def test_weighted_percentile_interpolates(self):
+        from repro.obs.registry import weighted_percentile
+
+        assert weighted_percentile([1.0], 0) == 1.0
+        assert weighted_percentile([1.0], 100) == 1.0
+        assert weighted_percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert weighted_percentile([1.0, 2.0, 3.0], 50) == 2.0
+        assert weighted_percentile([0.0, 10.0], 25) == pytest.approx(2.5)
 
     def test_histogram_empty_and_bad_percentile(self):
         hist = MetricsRegistry().histogram("h")
