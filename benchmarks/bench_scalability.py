@@ -208,6 +208,129 @@ def test_emit_perf_clique_kernels(perf_section):
     })
 
 
+#: (nodes, flows) ladder solved by BOTH backends; the last entry is the
+#: headline (the largest size the dense solver completes in bench time).
+_REVISED_LP_SIZES = ((50, 150), (100, 300), (200, 600))
+#: Revised-only extension point — far beyond the dense solver's reach.
+_REVISED_ONLY_SIZE = (1000, 10000)
+#: Quick mode (CI gate): solve only the first ladder entry and skip the
+#: revised-only point.  The emitted prefix still gates against the
+#: checked-in baseline — the conftest regression walker zips lists, so
+#: a shorter fresh list simply checks the points it contains.
+_QUICK_ENV = "BENCH_REVISED_QUICK"
+
+
+def contention_ladder_lp(nodes, flows, classes=4, ring=5):
+    """A clique-constraint LP shaped like a ``nodes``-clique,
+    ``flows``-flow allocation problem.
+
+    Cliques are partitioned into ``classes`` capacity classes (capacity
+    ``1 + class``) and, within a class, into rings of ``ring`` cliques;
+    each flow crosses three consecutive cliques of its ring (a 3-hop
+    path), round-robin.  Two properties matter for a *scalability*
+    bench: within a class every clique sees the same load, so the
+    lexicographic ladder runs exactly one round per class no matter how
+    large the instance (bench cost scales with solver speed, not ladder
+    depth); and contention is ring-local, so a saturation probe's pivot
+    path has bounded length — pivot *count* grows linearly with flows,
+    the per-pivot cost is what the backends differ on.
+    """
+    from repro.lp import LinearProgram
+
+    lp = LinearProgram()
+    names = [f"r_{f}" for f in range(flows)]
+    per_block = max(ring, nodes // classes)
+    rings_per_class = per_block // ring
+    rows = [[] for _ in range(classes * per_block)]
+    for f in range(flows):
+        cls = f % classes
+        idx = f // classes
+        base = cls * per_block + (idx % rings_per_class) * ring
+        start = (idx // rings_per_class) % ring
+        for hop in range(3):
+            rows[base + (start + hop) % ring].append(names[f])
+    lp.maximize({v: 1.0 for v in names})
+    for i, members in enumerate(rows):
+        if members:
+            lp.add_constraint({v: 1.0 for v in sorted(set(members))},
+                              float(1 + i // per_block),
+                              label=f"clique-{i}")
+    return lp
+
+
+def test_emit_perf_revised_lp(perf_section):
+    """Emit the ``revised_lp`` section of BENCH_perf.json.
+
+    End-to-end lexicographic max-min (total-throughput LP + ladder with
+    batched saturation probes) on the contention-ladder family, revised
+    vs dense on every size both can run — rates asserted within 1e-9
+    before any timing is recorded — plus the 1,000-node/10,000-flow
+    revised-only point.  The headline gate: revised at least 5x faster
+    than dense at the largest common size.  ``BENCH_REVISED_QUICK=1``
+    runs only the smallest size (CI's lp-differential job).
+    """
+    import gc
+    import time
+
+    from repro.lp import lexicographic_maxmin
+
+    quick = bool(os.environ.get(_QUICK_ENV))
+    sizes = _REVISED_LP_SIZES[:1] if quick else _REVISED_LP_SIZES
+
+    def timed(fn):
+        gc.collect()
+        t0 = time.perf_counter()
+        result = fn()
+        return (time.perf_counter() - t0) * 1e3, result
+
+    points = []
+    for nodes, flows in sizes:
+        lp = contention_ladder_lp(nodes, flows)
+        revised_ms, fast = timed(
+            lambda: lexicographic_maxmin(lp, backend="revised")
+        )
+        dense_ms, ref = timed(
+            lambda: lexicographic_maxmin(lp, backend="simplex")
+        )
+        assert fast.status == ref.status == "optimal"
+        for v, rate in ref.values.items():
+            assert abs(fast.values[v] - rate) <= 1e-9, (nodes, v)
+        points.append({
+            "nodes": nodes,
+            "flows": flows,
+            "rows": len(lp.constraints),
+            "dense_ms": dense_ms,
+            "revised_ms": revised_ms,
+            "speedup": dense_ms / revised_ms,
+        })
+
+    payload = {
+        "kernel": "revised simplex (sparse, batched probes) vs dense "
+                  "tableau, end-to-end lexicographic max-min",
+        "points": points,
+    }
+    if not quick:
+        # Acceptance gate: >= 5x at the largest size dense completes.
+        assert points[-1]["speedup"] >= 5.0, points[-1]
+        payload["headline_speedup"] = points[-1]["speedup"]
+
+        nodes, flows = _REVISED_ONLY_SIZE
+        big = contention_ladder_lp(nodes, flows)
+        big_ms, sol = timed(
+            lambda: lexicographic_maxmin(big, backend="revised")
+        )
+        assert sol.status == "optimal"
+        assert min(sol.values.values()) > 0.0
+        payload["revised_only"] = {
+            "nodes": nodes,
+            "flows": flows,
+            "rows": len(big.constraints),
+            "revised_ms": big_ms,
+        }
+
+    perf_section("revised_lp", payload)
+
+
 def test_obs_disabled_overhead_under_two_percent():
     """Instrumentation with no registry active must stay in the noise.
 

@@ -175,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "runtime under a seeded churn timeline and check "
                         "the churn safety invariants (failures shrink "
                         "the timeline)")
+    p.add_argument("--backend", choices=("simplex", "revised"),
+                   default="simplex",
+                   help="float LP solver under test (default simplex); "
+                        "'revised' fuzzes the sparse revised-simplex "
+                        "backend against the same exact-Fraction oracle")
     _add_obs_flags(p)
 
     p = sub.add_parser(
@@ -514,6 +519,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 inject_fault=args.inject_fault,
                 reproducer_dir=args.reproducer_dir,
                 with_scipy=args.with_scipy,
+                backend=args.backend,
                 jobs=args.jobs,
                 faults=args.faults,
                 churn=args.churn,
@@ -524,7 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = _run_observed(
             args, "verify", args.seed,
             {"cases": args.cases, "inject_fault": args.inject_fault,
-             "faults": args.faults, "churn": args.churn},
+             "faults": args.faults, "churn": args.churn,
+             "backend": args.backend},
             verify_payload,
         )
         if code != 0:

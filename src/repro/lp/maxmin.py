@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from ..obs.registry import incr
 from ..obs.trace import span
 from .problem import LinearProgram, LPSolution
-from .solvers import solve
+from .solvers import resolve_backend, solve
 
 _TOL = 0.0
 
@@ -151,15 +152,32 @@ def _saturated(
         aux.set_lower_bound(v, max(level * w[v] - _TOL, 0.0))
     for v, val in frozen.items():
         _fix_value(aux, v, val)
+    targets = [
+        v for v in free
+        if hint is None or hint.get(v, 0.0) <= level * w[v] + 1e-6
+    ]
     stuck: List[str] = []
-    for target in free:
-        if (hint is not None
-                and hint.get(target, 0.0) > level * w[target] + 1e-6):
-            continue
-        aux.objective = {target: 1.0}
-        sol = solve(aux, backend)
-        if not sol.is_optimal or sol.values.get(target, 0.0) <= level * w[target] + 1e-7:
-            stuck.append(target)
+    fn, _ = resolve_backend(backend)
+    probe_batch = getattr(fn, "probe_max_values", None)
+    if probe_batch is not None:
+        # Batched probes: one standard form + one phase 1 shared across
+        # the whole round; each probe continues from the previous
+        # probe's optimal basis.  A ``None`` maximum is a non-optimal
+        # probe, treated exactly as the per-probe loop treats one.
+        incr("lp.maxmin.batch_probes")
+        maxima = probe_batch(aux, targets)
+        for target in targets:
+            peak = maxima[target]
+            if peak is None or peak <= level * w[target] + 1e-7:
+                stuck.append(target)
+    else:
+        for target in targets:
+            aux.objective = {target: 1.0}
+            sol = solve(aux, backend)
+            if (not sol.is_optimal
+                    or sol.values.get(target, 0.0)
+                    <= level * w[target] + 1e-7):
+                stuck.append(target)
     # At least one variable must freeze per round to guarantee progress.
     if not stuck and free:
         stuck = [min(free)]

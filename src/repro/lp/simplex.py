@@ -68,7 +68,8 @@ def solve_simplex(
     with phase_timer("lp.simplex.solve"), \
             span("lp.solve", vars=len(names),
                  rows=len(lp.constraints),
-                 warm=start_basis is not None) as solve_span:
+                 warm=start_basis is not None,
+                 backend="simplex") as solve_span:
         c, a, b, lb = lp.to_dense()
 
         # Shift out the lower bounds: x = y + lb with y >= 0.
@@ -180,26 +181,7 @@ def _simplex_leq(
             warm_ok = True
             incr("perf.lp.warm.installed")
         else:
-            incr("perf.lp.warm.fallbacks")
-            incr("lp.warm.stale_basis")
-            incr(f"lp.warm.stale_basis.{stale_reason}")
-            # Attribute the fallback to the LP-solve span it happened
-            # inside (and, transitively, the epoch/probe above it), so a
-            # stale basis in a trace points at a specific solve rather
-            # than a run-wide counter.
-            trigger = current_span_id()
-            tag_current(stale_basis=stale_reason)
-            if trigger is not None:
-                emit_event(
-                    "lp.warm.stale_basis",
-                    reason=stale_reason,
-                    span=trigger,
-                )
-            _LOG.debug(
-                "stale warm basis (%s): %d labels for %d rows; "
-                "falling back to cold two-phase solve",
-                stale_reason, len(start_basis), m,
-            )
+            _note_stale_basis(stale_reason, len(start_basis), m)
 
     if not warm_ok and art_cols:
         # Phase 1: minimize sum of artificials == maximize -sum.
@@ -238,6 +220,36 @@ def _simplex_leq(
     y[basis] = y_basic
     final: Basis = tuple(col_label[j] for j in basis)
     return "optimal", y[:n], float(obj2 @ y), pivots, final
+
+
+def _note_stale_basis(stale_reason: str, nlabels: int, m: int) -> None:
+    """Record a rejected warm-start basis (counters, span tag, event).
+
+    Shared by the dense and revised backends so the
+    ``lp.warm.stale_basis.<reason>`` counter taxonomy and the
+    span-attributed fallback events are identical regardless of which
+    solver rejected the basis.
+    """
+    incr("perf.lp.warm.fallbacks")
+    incr("lp.warm.stale_basis")
+    incr(f"lp.warm.stale_basis.{stale_reason}")
+    # Attribute the fallback to the LP-solve span it happened inside
+    # (and, transitively, the epoch/probe above it), so a stale basis
+    # in a trace points at a specific solve rather than a run-wide
+    # counter.
+    trigger = current_span_id()
+    tag_current(stale_basis=stale_reason)
+    if trigger is not None:
+        emit_event(
+            "lp.warm.stale_basis",
+            reason=stale_reason,
+            span=trigger,
+        )
+    _LOG.debug(
+        "stale warm basis (%s): %d labels for %d rows; "
+        "falling back to cold two-phase solve",
+        stale_reason, nlabels, m,
+    )
 
 
 def _install_basis(

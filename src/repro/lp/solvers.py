@@ -1,22 +1,26 @@
 """Solver front-end: from-scratch simplex by default, scipy as cross-check.
 
 ``solve(lp)`` is the single entry point used by the allocation algorithms.
-The default backend is the library's own simplex implementation; the scipy
-backend exists so tests (and cautious users) can verify both agree on every
-LP the paper's algorithms generate.
+The default backend is the library's own dense simplex implementation;
+``"revised"`` selects the sparse revised-simplex backend (same contract,
+built for large instances); the scipy backend exists so tests (and
+cautious users) can verify the from-scratch solvers agree on every LP the
+paper's algorithms generate.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple, Union
 
 import numpy as np
 
 from ..obs.registry import incr, phase_timer
 from .problem import LinearProgram, LPSolution
+from .revised import RevisedBackend, solve_revised
 from .simplex import solve_simplex
 
 Backend = Callable[[LinearProgram], LPSolution]
+BackendSpec = Union[str, Backend]
 
 _BACKENDS: Dict[str, Backend] = {}
 
@@ -26,27 +30,37 @@ def register_backend(name: str, backend: Backend) -> None:
     _BACKENDS[name] = backend
 
 
-def solve(lp: LinearProgram, backend="simplex") -> LPSolution:
-    """Solve ``lp`` with the requested backend (default: own simplex).
+def resolve_backend(backend: BackendSpec) -> Tuple[Backend, str]:
+    """Resolve a backend spec to ``(callable, label)``.
 
     ``backend`` is either a registered backend name or a callable
     ``LinearProgram -> LPSolution`` (e.g. a stateful warm-starting
-    solver from :class:`repro.perf.warm.WarmLPCache`); callables flow
-    through every allocation entry point that takes a ``backend``
-    argument.
+    solver from :class:`repro.perf.warm.WarmLPCache`).  Callers that
+    can exploit optional capabilities — :func:`repro.lp.maxmin`'s
+    batched saturation probes look for a ``probe_max_values`` method —
+    should resolve once and inspect the returned callable.
     """
     if callable(backend):
-        fn = backend
-        label = getattr(backend, "__name__", "custom")
-    else:
-        try:
-            fn = _BACKENDS[backend]
-        except KeyError:
-            raise ValueError(
-                f"unknown LP backend {backend!r}; "
-                f"available: {sorted(_BACKENDS)}"
-            ) from None
-        label = backend
+        return backend, getattr(backend, "__name__", "custom")
+    try:
+        return _BACKENDS[backend], backend
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {backend!r}; "
+            f"available: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def solve(lp: LinearProgram, backend: BackendSpec = "simplex") \
+        -> LPSolution:
+    """Solve ``lp`` with the requested backend (default: own simplex).
+
+    ``backend`` is a registered backend name (``simplex``, ``revised``,
+    ``scipy``) or a callable ``LinearProgram -> LPSolution``; callables
+    flow through every allocation entry point that takes a ``backend``
+    argument.
+    """
+    fn, label = resolve_backend(backend)
     with phase_timer("lp.solve"):
         solution = fn(lp)
     incr("lp.solves")
@@ -105,3 +119,6 @@ def cross_check(lp: LinearProgram, tol: float = 1e-7) -> LPSolution:
 
 register_backend("simplex", solve_simplex)
 register_backend("scipy", solve_scipy)
+# A RevisedBackend *instance* (not the bare function) so capability
+# probes — maxmin's batched saturation solves — find probe_max_values.
+register_backend("revised", RevisedBackend())

@@ -1,0 +1,290 @@
+"""Sparse (CSR/CSC) matrix layer for the revised-simplex backend.
+
+Clique-constraint matrices are extremely sparse: a clique row touches
+only the flows crossing that clique, and the max-min ladder's floor rows
+(``t*w_v - x_v <= 0``) carry exactly two nonzeros.  Densifying them — as
+:meth:`repro.lp.problem.LinearProgram.to_dense` does for the tableau
+solver — wastes both memory (quadratic at 10k flows) and time (every
+pivot sweeps mostly-zero columns).  This module provides the minimal
+index/value-array representation the revised simplex needs:
+
+* :class:`CSRMatrix` — compressed sparse rows (fast row access, matvec);
+* :class:`CSCMatrix` — compressed sparse columns (fast column gather and
+  the per-iteration ``A^T y`` pricing pass);
+* :class:`SparseLP` — ``(c, A, b, lb)`` extracted from a
+  :class:`~repro.lp.problem.LinearProgram` without ever materializing
+  the dense matrix.
+
+Everything is plain numpy; scipy is only touched by the LU
+factorization in :mod:`repro.lp.revised`.  The hypothesis suite in
+``tests/test_lp_sparse.py`` pins these classes against their dense numpy
+equivalents (build round-trip, slicing, matvec/rmatvec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .problem import LinearProgram
+
+__all__ = ["CSRMatrix", "CSCMatrix", "SparseLP"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Compressed-sparse-row matrix over float64 index/value arrays.
+
+    ``indptr`` has ``num_rows + 1`` entries; row ``i``'s nonzeros live at
+    ``indices[indptr[i]:indptr[i+1]]`` / ``data[indptr[i]:indptr[i+1]]``.
+    Column indices within a row are stored in ascending order, which
+    makes equal matrices representation-identical (and comparisons in
+    the property tests exact).
+    """
+
+    num_rows: int
+    num_cols: int
+    indptr: np.ndarray   # int64, len num_rows + 1
+    indices: np.ndarray  # int64, len nnz
+    data: np.ndarray     # float64, len nnz
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense, dtype=float)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        m, n = dense.shape
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        cols, vals = [], []
+        for i in range(m):
+            nz = np.flatnonzero(dense[i])
+            indptr[i + 1] = indptr[i] + nz.size
+            cols.append(nz)
+            vals.append(dense[i, nz])
+        indices = (np.concatenate(cols) if cols
+                   else np.zeros(0, dtype=np.int64))
+        data = np.concatenate(vals) if vals else np.zeros(0)
+        return cls(m, n, indptr, indices.astype(np.int64), data)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Sequence[Tuple[int, float]]], num_cols: int
+    ) -> "CSRMatrix":
+        """Build from per-row ``(col, value)`` pairs (zeros dropped)."""
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        cols, vals = [], []
+        for i, row in enumerate(rows):
+            entries = sorted((int(j), float(v)) for j, v in row
+                             if float(v) != 0.0)
+            indptr[i + 1] = indptr[i] + len(entries)
+            cols.extend(j for j, _ in entries)
+            vals.extend(v for _, v in entries)
+        return cls(
+            len(rows), int(num_cols), indptr,
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=float),
+        )
+
+    # ------------------------------------------------------------------
+    # Views and conversions
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.num_rows, self.num_cols))
+        row_of = np.repeat(
+            np.arange(self.num_rows), np.diff(self.indptr)
+        )
+        out[row_of, self.indices] = self.data
+        return out
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(column indices, values)`` of row ``i`` (views, not copies)."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def select_rows(self, rows: Sequence[int]) -> "CSRMatrix":
+        """A new CSRMatrix of the given rows, in the given order."""
+        rows = [int(i) for i in rows]
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        chunks_i, chunks_v = [], []
+        for k, i in enumerate(rows):
+            idx, val = self.row(i)
+            indptr[k + 1] = indptr[k] + idx.size
+            chunks_i.append(idx)
+            chunks_v.append(val)
+        indices = (np.concatenate(chunks_i) if chunks_i
+                   else np.zeros(0, dtype=np.int64))
+        data = np.concatenate(chunks_v) if chunks_v else np.zeros(0)
+        return CSRMatrix(len(rows), self.num_cols, indptr, indices, data)
+
+    def select_columns(self, cols: Sequence[int]) -> "CSRMatrix":
+        """A new CSRMatrix of the given columns, in the given order."""
+        cols = [int(j) for j in cols]
+        remap = -np.ones(self.num_cols, dtype=np.int64)
+        for new_j, old_j in enumerate(cols):
+            remap[old_j] = new_j
+        keep = remap[self.indices] >= 0
+        new_indices = remap[self.indices[keep]]
+        new_data = self.data[keep]
+        row_of = np.repeat(
+            np.arange(self.num_rows), np.diff(self.indptr)
+        )[keep]
+        kept_per_row = np.bincount(row_of, minlength=self.num_rows) \
+            if row_of.size else np.zeros(self.num_rows, dtype=np.int64)
+        indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(kept_per_row, out=indptr[1:])
+        # Re-sort each row by the new column order.
+        out_i = np.empty_like(new_indices)
+        out_v = np.empty_like(new_data)
+        for i in range(self.num_rows):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            order = np.argsort(new_indices[lo:hi], kind="stable")
+            out_i[lo:hi] = new_indices[lo:hi][order]
+            out_v[lo:hi] = new_data[lo:hi][order]
+        return CSRMatrix(self.num_rows, len(cols), indptr, out_i, out_v)
+
+    def to_csc(self) -> "CSCMatrix":
+        order = np.lexsort((
+            np.repeat(np.arange(self.num_rows), np.diff(self.indptr)),
+            self.indices,
+        )) if self.nnz else np.zeros(0, dtype=np.int64)
+        rows = np.repeat(
+            np.arange(self.num_rows), np.diff(self.indptr)
+        )[order]
+        data = self.data[order]
+        cols = self.indices[order]
+        indptr = np.zeros(self.num_cols + 1, dtype=np.int64)
+        np.add.at(indptr, cols + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSCMatrix(
+            self.num_rows, self.num_cols, indptr,
+            rows.astype(np.int64), data,
+        )
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` via one pass over the nonzeros."""
+        x = np.asarray(x, dtype=float)
+        if self.nnz == 0:
+            return np.zeros(self.num_rows)
+        products = self.data * x[self.indices]
+        row_of = np.repeat(
+            np.arange(self.num_rows), np.diff(self.indptr)
+        )
+        return np.bincount(row_of, weights=products,
+                           minlength=self.num_rows)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``A.T @ y`` via one pass over the nonzeros."""
+        y = np.asarray(y, dtype=float)
+        if self.nnz == 0:
+            return np.zeros(self.num_cols)
+        row_of = np.repeat(
+            np.arange(self.num_rows), np.diff(self.indptr)
+        )
+        return np.bincount(self.indices, weights=self.data * y[row_of],
+                           minlength=self.num_cols)
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """Compressed-sparse-column twin of :class:`CSRMatrix`.
+
+    Column ``j``'s nonzeros live at
+    ``indices[indptr[j]:indptr[j+1]]`` (row indices, ascending) /
+    ``data[indptr[j]:indptr[j+1]]``.  This is the pricing-side layout:
+    the revised simplex gathers one column per pivot (``B^-1 a_j``) and
+    runs ``A^T y`` over all nonzeros once per iteration.
+    """
+
+    num_rows: int
+    num_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row indices, values)`` of column ``j`` (views, not copies)."""
+        lo, hi = int(self.indptr[j]), int(self.indptr[j + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.num_rows, self.num_cols))
+        col_of = np.repeat(
+            np.arange(self.num_cols), np.diff(self.indptr)
+        )
+        out[self.indices, col_of] = self.data
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``A.T @ y``: the per-iteration pricing pass."""
+        y = np.asarray(y, dtype=float)
+        if self.nnz == 0:
+            return np.zeros(self.num_cols)
+        col_of = np.repeat(
+            np.arange(self.num_cols), np.diff(self.indptr)
+        )
+        return np.bincount(col_of, weights=self.data * y[self.indices],
+                           minlength=self.num_cols)
+
+
+@dataclass(frozen=True)
+class SparseLP:
+    """``maximize c'x s.t. A x <= b, x >= lb`` with ``A`` kept sparse.
+
+    The tuple ``(c, A.to_dense(), b, lb)`` is bit-identical to
+    :meth:`LinearProgram.to_dense` — same variable registration order,
+    same constraint order, same float values — so the revised backend
+    solves exactly the LP the dense backend sees.
+    """
+
+    names: Tuple[str, ...]
+    c: np.ndarray
+    a: CSRMatrix
+    b: np.ndarray
+    lb: np.ndarray
+
+    @classmethod
+    def from_problem(cls, lp: LinearProgram) -> "SparseLP":
+        names = lp.variables
+        index = {v: j for j, v in enumerate(names)}
+        n = len(names)
+        c = np.zeros(n)
+        for v, coeff in lp.objective.items():
+            c[index[v]] = coeff
+        rows = [
+            [(index[v], coeff) for v, coeff in con.coeffs.items()]
+            for con in lp.constraints
+        ]
+        a = CSRMatrix.from_rows(rows, n)
+        b = np.array([con.bound for con in lp.constraints], dtype=float)
+        lb = np.array([lp.lower_bounds.get(v, 0.0) for v in names])
+        return cls(tuple(names), c, a, b, lb)
+
+    def to_dense(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+        """The same ``(c, A_ub, b_ub, lb)`` tuple as ``lp.to_dense()``."""
+        return self.c.copy(), self.a.to_dense(), self.b.copy(), \
+            self.lb.copy()

@@ -21,12 +21,15 @@ from __future__ import annotations
 
 import logging
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
 from ..lp.problem import LinearProgram, LPSolution
 from ..lp.simplex import Basis, solve_simplex
 from ..obs.registry import incr, phase_timer
 from ..obs.trace import span
+
+#: A warm-startable solver: ``(lp, start_basis=...) -> LPSolution``.
+WarmSolver = Callable[..., LPSolution]
 
 __all__ = ["WarmLPCache", "lp_structure_signature"]
 
@@ -56,10 +59,20 @@ class WarmLPCache:
     :meth:`solver` is a drop-in LP backend: it looks up a basis for the
     incoming problem's structure, solves warm when one is known, and
     stores the final basis for the next structurally identical solve.
+
+    ``solve_fn`` selects the underlying warm-startable solver (any
+    callable accepting ``start_basis=``); the default is the dense
+    :func:`~repro.lp.simplex.solve_simplex`, and
+    :func:`~repro.lp.revised.solve_revised` is a drop-in because both
+    backends share the structure-stable basis label encoding.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256,
+                 solve_fn: Optional[WarmSolver] = None) -> None:
         self.max_entries = int(max_entries)
+        self._solve: WarmSolver = (
+            solve_fn if solve_fn is not None else solve_simplex
+        )
         self._bases: "OrderedDict[Hashable, Basis]" = OrderedDict()
         # Per variables-tuple: the latest (constraint structure, basis).
         # Serves extension warm starts for LPs that grow by appending
@@ -182,7 +195,7 @@ class WarmLPCache:
                             "column(s) for a prefix-compatible LP",
                             k, len(cons_sig) - k,
                         )
-            solution = solve_simplex(lp, start_basis=start)
+            solution = self._solve(lp, start_basis=start)
         if solution.basis is not None:
             self._put(key, solution.basis)
             self._latest[vars_sig] = (cons_sig, solution.basis)

@@ -41,6 +41,7 @@ from ..core.allocation import AllocationResult
 from ..core.contention import ContentionAnalysis
 from ..core.fairness_defs import basic_shares
 from ..lp.problem import LinearProgram, LPSolution
+from ..lp.revised import solve_revised
 from ..lp.simplex import solve_simplex
 from ..obs.registry import incr
 from ..obs.trace import span
@@ -244,10 +245,35 @@ class ResilientLPBackend:
 
     ``fallbacks`` counts demotions; the same number lands on the
     ``resilience.lp.fallback`` counter of the active metrics registry.
+
+    ``backend`` names the float solver the warm and cold stages run
+    (``"simplex"`` or ``"revised"``, or any warm-startable callable):
+    the warm stage's :class:`WarmLPCache` is built over it (unless an
+    explicit pre-configured ``cache`` is supplied) and the cold stage
+    calls it basis-free.  The exact-``Fraction`` stage is backend-
+    independent ground truth either way.
     """
 
-    def __init__(self, cache: Optional[WarmLPCache] = None) -> None:
-        self.cache = cache if cache is not None else WarmLPCache()
+    def __init__(self, cache: Optional[WarmLPCache] = None,
+                 backend: str = "simplex") -> None:
+        if backend not in ("simplex", "revised"):
+            raise ValueError(
+                f"ResilientLPBackend backend must be 'simplex' or "
+                f"'revised', got {backend!r}"
+            )
+        self.backend = backend
+        if cache is not None:
+            self.cache = cache
+        elif backend == "revised":
+            # Late global lookup (not a bound reference) so tests can
+            # monkeypatch ``degrade.solve_revised`` to force demotions,
+            # mirroring the dense path's ``degrade.solve_simplex`` seam.
+            self.cache = WarmLPCache(
+                solve_fn=lambda lp, start_basis=None:
+                    solve_revised(lp, start_basis=start_basis)
+            )
+        else:
+            self.cache = WarmLPCache()
         self.fallbacks = 0
         #: Stage name -> times that stage produced the accepted solution.
         self.served: Dict[str, int] = {"warm": 0, "cold": 0, "exact": 0}
@@ -256,9 +282,15 @@ class ResilientLPBackend:
     # solvers to force demotions down the chain.
     def _stages(self) -> List[Tuple[str, Callable[[LinearProgram],
                                                   LPSolution]]]:
+        if self.backend == "revised":
+            cold: Callable[[LinearProgram], LPSolution] = (
+                lambda lp: solve_revised(lp)
+            )
+        else:
+            cold = lambda lp: solve_simplex(lp)  # noqa: E731
         return [
             ("warm", self.cache.solver),
-            ("cold", lambda lp: solve_simplex(lp)),
+            ("cold", cold),
             ("exact", self._solve_exact),
         ]
 

@@ -116,6 +116,7 @@ class VerificationSuite:
                                  Dict[str, float]]] = None,
         faults: bool = False,
         churn: bool = False,
+        backend: str = "simplex",
     ) -> None:
         self.brute_force_max_vertices = brute_force_max_vertices
         self.lp_tol = lp_tol
@@ -127,6 +128,10 @@ class VerificationSuite:
         #: Also run each case through the long-lived runtime under a
         #: seeded churn timeline — ``repro verify --churn``.
         self.churn = churn
+        #: Float LP solver under test (``repro verify --backend``): every
+        #: allocation the suite checks and the float side of the
+        #: ``lp.float_vs_exact`` oracle run on this backend.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> List[CheckOutcome]:
@@ -177,7 +182,9 @@ class VerificationSuite:
             ))
 
             # Phase-1 LP (2PA-C) allocation, optionally faulted.
-            lp_alloc = basic_fairness_lp_allocation(analysis)
+            lp_alloc = basic_fairness_lp_allocation(
+                analysis, backend=self.backend
+            )
             lp_shares = dict(lp_alloc.shares)
             if self.fault is not None:
                 lp_shares = self.fault(lp_shares, b)
@@ -207,6 +214,36 @@ class VerificationSuite:
                     "2pad.vs_centralized", FAIL,
                     f"{type(exc).__name__}: {exc}",
                 ))
+        return out
+
+    # ------------------------------------------------------------------
+    def run_lp_checks(self, scenario: Scenario) -> List[CheckOutcome]:
+        """Only the ``lp.*`` checks of :meth:`run` (same names/verdicts).
+
+        The shrinker uses this as a fast path when the original failure
+        is an LP check: re-proving an ``lp.*`` failure on a candidate
+        scenario does not require re-running the exponential brute-force
+        clique oracle or the 2PA-D differential, and skipping them keeps
+        every shrink step cheap.  The checks it does run are produced by
+        the same code as :meth:`run`, so a candidate fails here iff it
+        fails there.
+        """
+        out: List[CheckOutcome] = []
+        analysis = ContentionAnalysis(scenario)
+        b = scenario.capacity
+        with phase_timer("verify.allocations"):
+            lp_alloc = basic_fairness_lp_allocation(
+                analysis, backend=self.backend
+            )
+            lp_shares = dict(lp_alloc.shares)
+            if self.fault is not None:
+                lp_shares = self.fault(lp_shares, b)
+            out.extend(self._allocation_checks(
+                "lp", analysis, lp_shares, b,
+                fairness=False, prop1=False, basic_fair=True,
+            ))
+        with phase_timer("verify.exact_lp"):
+            out.extend(self._lp_oracle_checks(analysis, lp_shares, b))
         return out
 
     # ------------------------------------------------------------------
@@ -317,7 +354,8 @@ class VerificationSuite:
         for group in analysis.groups:
             lp = build_basic_fairness_lp(analysis, group, capacity)
             report = lp_objective_matches(lp, tol=self.lp_tol,
-                                          with_scipy=self.with_scipy)
+                                          with_scipy=self.with_scipy,
+                                          backend=self.backend)
             if not report["ok"]:
                 diff_ok = False
                 details_diff.append(
@@ -491,6 +529,7 @@ class FuzzReport:
     cases: int
     seed: int
     inject_fault: bool
+    backend: str = "simplex"
     checks: Dict[str, Dict[str, int]] = field(default_factory=dict)
     failures: List[FuzzFailure] = field(default_factory=list)
 
@@ -514,6 +553,7 @@ class FuzzReport:
             "cases": self.cases,
             "seed": self.seed,
             "inject_fault": self.inject_fault,
+            "backend": self.backend,
             "ok": self.ok,
             "checks": {k: dict(v) for k, v in sorted(self.checks.items())},
             "failures": [f.to_dict() for f in self.failures],
@@ -522,6 +562,8 @@ class FuzzReport:
     def render(self) -> str:
         lines = [
             f"repro verify: {self.cases} case(s), seed {self.seed}"
+            + (f" [backend {self.backend}]"
+               if self.backend != "simplex" else "")
             + (" [fault injected]" if self.inject_fault else ""),
             "",
             f"  {'check':<34} {'pass':>6} {'fail':>6} {'skip':>6}",
@@ -597,6 +639,7 @@ def _run_case(
     first = failed[0]
     faults_check = first.name.startswith("faults.")
     churn_check = first.name.startswith("churn.")
+    lp_check = first.name.startswith("lp.")
 
     def fails_with(candidate: Scenario, candidate_plan,
                    candidate_timeline) -> bool:
@@ -608,6 +651,10 @@ def _run_case(
             outs = suite.churn_outcomes(
                 candidate, candidate_timeline, seed, index
             )
+        elif lp_check:
+            # LP-only failures shrink against the LP checks alone — no
+            # brute-force clique enumeration per candidate.
+            outs = suite.run_lp_checks(candidate)
         else:
             outs = suite.run(candidate)
         return any(o.name == first.name and o.failed for o in outs)
@@ -679,6 +726,7 @@ def run_fuzz(
     jobs: int = 1,
     faults: bool = False,
     churn: bool = False,
+    backend: str = "simplex",
 ) -> FuzzReport:
     """Run ``cases`` seeded scenarios through the verification suite.
 
@@ -706,6 +754,10 @@ def run_fuzz(
     (``churn.*`` checks, including the crash + restore differential); a
     failing case's timeline is shrunk alongside the scenario and lands
     in the reproducer under ``churn_timeline``.
+
+    ``backend`` selects the float LP solver under test (``"simplex"``
+    or ``"revised"``); reproducers record it so a failure found on one
+    backend is replayed against the same backend.
     """
     fault = inject_share_fault if inject_fault else None
     suite = VerificationSuite(
@@ -714,8 +766,10 @@ def run_fuzz(
         fault=fault,
         faults=faults,
         churn=churn,
+        backend=backend,
     )
-    report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault)
+    report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault,
+                        backend=backend)
 
     if jobs == 1:
         results = (
@@ -735,7 +789,8 @@ def run_fuzz(
             continue
         if reproducer_dir is not None:
             failure.reproducer_path = _write_reproducer(
-                reproducer_dir, seed, failure.case, failure.check, failure
+                reproducer_dir, seed, failure.case, failure.check, failure,
+                backend=backend,
             )
         report.failures.append(failure)
         incr("verify.failures")
@@ -745,7 +800,8 @@ def run_fuzz(
 
 
 def _write_reproducer(
-    directory: str, seed: int, case: int, check: str, failure: FuzzFailure
+    directory: str, seed: int, case: int, check: str,
+    failure: FuzzFailure, backend: str = "simplex",
 ) -> str:
     """Serialize a shrunk failure for humans, CI artifacts, and replay."""
     out_dir = Path(directory)
@@ -757,6 +813,7 @@ def _write_reproducer(
         "seed": seed,
         "case": case,
         "check": check,
+        "backend": backend,
         "details": failure.details,
         "scenario": failure.shrunk,
         "original_scenario": failure.scenario,

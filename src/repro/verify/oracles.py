@@ -141,8 +141,14 @@ def lp_objective_matches(
     tol: float = 1e-6,
     with_scipy: bool = False,
     borderline_delta: float = 1e-9,
+    backend: str = "simplex",
 ) -> Dict[str, object]:
-    """Differential solve of ``lp``: float simplex vs exact reference.
+    """Differential solve of ``lp``: float solver vs exact reference.
+
+    ``backend`` selects the float solver under test (``"simplex"`` or
+    ``"revised"``); the report's ``backend`` key records the choice and
+    the ``simplex_status`` / ``simplex_objective`` keys (named for the
+    historical default) carry whichever float backend ran.
 
     Returns a report dict with ``ok`` plus the per-backend statuses and
     objectives.  Agreement means equal statuses and, for optimal LPs,
@@ -158,10 +164,11 @@ def lp_objective_matches(
     original verdict was a one-ulp data artifact (see :func:`_relaxed`)
     and the backends are deemed to agree (flagged ``borderline``).
     """
-    float_sol = solve(lp, "simplex")
+    float_sol = solve(lp, backend)
     exact_sol = solve_exact(lp)
     report: Dict[str, object] = {
         "ok": True,
+        "backend": backend,
         "simplex_status": float_sol.status,
         "exact_status": exact_sol.status,
     }

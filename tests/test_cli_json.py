@@ -140,7 +140,8 @@ class TestVerifyCli:
         assert doc["scenario"] == "random-fuzz"
         assert doc["seed"] == 0
         assert doc["config"] == {"cases": 5, "inject_fault": False,
-                                 "faults": False, "churn": False}
+                                 "faults": False, "churn": False,
+                                 "backend": "simplex"}
         assert doc["results"]["ok"] is True
         assert doc["results"]["failures"] == []
         counters = doc["metrics"]["counters"]

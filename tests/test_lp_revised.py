@@ -1,0 +1,339 @@
+"""Differential suite for the sparse revised-simplex backend.
+
+Three-way agreement — revised vs dense simplex vs exact-``Fraction``
+oracle — on every LP the reproduction generates: the full 12-scenario
+library (all fig benchmarks included), the max-min-refined allocations,
+and the degenerate corners (unbounded, infeasible, and the one-ulp
+borderline instance the fuzzer checked into ``tests/regressions/``).
+Statuses must agree *exactly*; optimal objectives and max-min-refined
+rates within 1e-9.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.allocation import (
+    basic_fairness_lp_allocation,
+    build_basic_fairness_lp,
+)
+from repro.core.contention import ContentionAnalysis
+from repro.lp import (
+    LinearProgram,
+    RevisedBackend,
+    lexicographic_maxmin,
+    solve,
+    solve_revised,
+    solve_simplex,
+)
+from repro.obs.registry import using_registry
+from repro.resilience import ResilientLPBackend
+from repro.scenarios import (
+    cross,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    grid_scenario,
+    parallel_chains,
+    star,
+)
+from repro.scenarios.io import scenario_from_dict
+from repro.verify import lp_objective_matches, solve_exact
+
+RATE_TOL = 1e-9
+
+LIBRARY = {
+    "fig1": fig1.make_scenario,
+    "fig2_single": fig2.make_single_hop_scenario,
+    "fig2_multi": fig2.make_multi_hop_scenario,
+    "fig3_chain": fig3.make_chain_scenario,
+    "fig3_shortcut": fig3.make_shortcut_scenario,
+    "fig4": fig4.make_scenario,
+    "fig5": fig5.make_scenario,
+    "fig6": fig6.make_scenario,
+    "parallel_chains": parallel_chains,
+    "cross": cross,
+    "grid": grid_scenario,
+    "star": star,
+}
+
+BORDERLINE = (
+    Path(__file__).parent / "regressions" / "data"
+    / "verify-reproducer-s0-c27-lp.float_vs_exact.json"
+)
+
+
+def group_lps(scenario):
+    analysis = ContentionAnalysis(scenario)
+    return [
+        build_basic_fairness_lp(analysis, group, scenario.capacity)
+        for group in analysis.groups
+    ]
+
+
+class TestScenarioLibraryDifferential:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_group_lps_three_way_agreement(self, name):
+        """Every Prop. 2 group LP: statuses exact, objectives <= 1e-9."""
+        for lp in group_lps(LIBRARY[name]()):
+            dense = solve_simplex(lp)
+            revised = solve_revised(lp)
+            exact = solve_exact(lp)
+            assert revised.status == dense.status
+            if dense.is_optimal:
+                assert abs(revised.objective - dense.objective) <= RATE_TOL
+                if exact.status == "optimal":
+                    assert abs(
+                        revised.objective - float(exact.objective)
+                    ) <= RATE_TOL
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_revised_passes_the_float_vs_exact_oracle(self, name):
+        """Zero oracle disagreements (incl. borderline classification)."""
+        for lp in group_lps(LIBRARY[name]()):
+            report = lp_objective_matches(lp, backend="revised")
+            assert report["ok"], report
+            assert report["backend"] == "revised"
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_maxmin_refined_rates_agree(self, name):
+        """The paper-reported allocation: per-flow rates within 1e-9.
+
+        Raw LP vertices may legitimately differ between backends on a
+        degenerate optimal face; the lexicographic max-min refinement is
+        what makes the allocation unique, so rate agreement is asserted
+        after refinement — exactly what every experiment consumes.
+        """
+        analysis = ContentionAnalysis(LIBRARY[name]())
+        try:
+            dense = basic_fairness_lp_allocation(analysis, backend="simplex")
+        except RuntimeError:
+            # fig3's shortcut: the basic floors alone overfill the clique
+            # (the paper's motivation for virtual lengths).  The revised
+            # backend must reach the same infeasible verdict.
+            with pytest.raises(RuntimeError):
+                basic_fairness_lp_allocation(analysis, backend="revised")
+            return
+        revised = basic_fairness_lp_allocation(analysis, backend="revised")
+        assert set(dense.shares) == set(revised.shares)
+        for fid, rate in dense.shares.items():
+            assert abs(revised.shares[fid] - rate) <= RATE_TOL, (
+                name, fid, rate, revised.shares[fid],
+            )
+
+
+class TestDegenerateCases:
+    def test_unbounded_status_exact(self):
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0, "y": 1.0})
+        lp.add_constraint({"x": 1.0}, 1.0)
+        assert solve_revised(lp).status == "unbounded"
+        assert solve_simplex(lp).status == "unbounded"
+        assert solve_exact(lp).status == "unbounded"
+
+    def test_infeasible_status_exact(self):
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0})
+        lp.add_constraint({"x": -1.0}, -5.0)  # x >= 5
+        lp.add_constraint({"x": 1.0}, 1.0)    # x <= 1
+        assert solve_revised(lp).status == "infeasible"
+        assert solve_simplex(lp).status == "infeasible"
+        assert solve_exact(lp).status == "infeasible"
+
+    def test_no_constraints_matches_dense(self):
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0})
+        assert solve_revised(lp).status == "unbounded"
+        bounded = LinearProgram()
+        bounded.add_variable("x")
+        bounded.maximize({})
+        assert solve_revised(bounded).status == \
+            solve_simplex(bounded).status == "optimal"
+
+    def test_empty_lp(self):
+        lp = LinearProgram()
+        assert solve_revised(lp).status == "optimal"
+        assert solve_revised(lp).objective == 0.0
+
+    def test_negative_shifted_rhs_needs_phase1(self):
+        """Lower bounds exceeding slack force the phase-1 path."""
+        lp = LinearProgram()
+        lp.maximize({"a": 1.0})
+        lp.add_variable("b")
+        lp.set_lower_bound("b", 2.0)
+        lp.add_constraint({"a": 1.0, "b": -1.0}, -1.0)  # a <= b - 1
+        lp.add_constraint({"a": 1.0, "b": 1.0}, 10.0)
+        dense = solve_simplex(lp)
+        revised = solve_revised(lp)
+        assert revised.status == dense.status == "optimal"
+        assert revised.values == dense.values
+
+    def test_one_ulp_borderline_statuses_match_dense(self):
+        """The regression instance where float data is exactly infeasible
+        by one ulp: the revised backend must report the same statuses as
+        the dense solver on every group LP, and the oracle must classify
+        the pair as (flagged) borderline agreement — not a mismatch."""
+        doc = json.loads(BORDERLINE.read_text())
+        scenario = scenario_from_dict(doc["scenario"])
+        hit = False
+        for lp in group_lps(scenario):
+            assert solve_revised(lp).status == solve_simplex(lp).status
+            report = lp_objective_matches(lp, backend="revised")
+            assert report["ok"], report
+            if report.get("borderline"):
+                hit = True
+                assert report["simplex_status"] == "optimal"
+                assert report["exact_status"] == "infeasible"
+        assert hit, "data file no longer pins the one-ulp artifact"
+
+
+class TestWarmStartInterop:
+    """Both backends share the structure-stable basis label encoding."""
+
+    @staticmethod
+    def _lp(cap=4.0, ycap=3.0):
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0, "y": 2.0})
+        lp.add_constraint({"x": 1.0, "y": 1.0}, cap)
+        lp.add_constraint({"y": 1.0}, ycap)
+        lp.set_lower_bound("x", 0.5)
+        return lp
+
+    def test_same_final_basis_and_values_cold(self):
+        dense = solve_simplex(self._lp())
+        revised = solve_revised(self._lp())
+        assert revised.basis == dense.basis
+        assert revised.values == dense.values
+
+    def test_dense_basis_warm_starts_revised(self):
+        dense = solve_simplex(self._lp())
+        with using_registry() as reg:
+            warm = solve_revised(self._lp(5.0, 2.5),
+                                 start_basis=dense.basis)
+        cold = solve_revised(self._lp(5.0, 2.5))
+        assert warm.values == cold.values
+        assert warm.objective == cold.objective
+        assert reg.counters["perf.lp.warm.installed"].value == 1
+
+    def test_revised_basis_warm_starts_dense(self):
+        revised = solve_revised(self._lp())
+        warm = solve_simplex(self._lp(5.0, 2.5),
+                             start_basis=revised.basis)
+        cold = solve_simplex(self._lp(5.0, 2.5))
+        assert warm.values == cold.values
+
+    def test_stale_basis_falls_back_with_same_reasons(self):
+        cases = [
+            ((("v", 0),), "row-count"),
+            ((("v", 17), ("s", 0)), "unknown-label"),
+            ((("v", 0), ("v", 0)), "duplicate-column"),
+        ]
+        for stale, reason in cases:
+            with using_registry() as reg:
+                warm = solve_revised(self._lp(), start_basis=stale)
+            cold = solve_revised(self._lp())
+            assert warm.values == cold.values
+            key = f"lp.warm.stale_basis.{reason}"
+            assert reg.counters[key].value == 1, reason
+
+
+class TestBatchedProbes:
+    """probe_max_values == one solve per target, same verdicts."""
+
+    @staticmethod
+    def _region():
+        lp = LinearProgram()
+        for v in ("x", "y", "z"):
+            lp.add_variable(v)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 4.0)
+        lp.add_constraint({"y": 1.0, "z": 1.0}, 3.0)
+        lp.add_constraint({"x": 1.0, "z": 2.0}, 5.0)
+        return lp
+
+    def test_batch_equals_per_probe_loop(self):
+        lp = self._region()
+        batch = RevisedBackend().probe_max_values(lp, ["x", "y", "z"])
+        for target, peak in batch.items():
+            probe = lp.clone()
+            probe.objective = {target: 1.0}
+            sol = solve_revised(probe)
+            assert sol.is_optimal and peak is not None
+            assert abs(peak - sol.values[target]) <= RATE_TOL
+
+    def test_unbounded_probe_returns_none(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_variable("free")
+        lp.add_constraint({"x": 1.0}, 1.0)
+        out = RevisedBackend().probe_max_values(lp, ["x", "free"])
+        assert out["free"] is None
+        assert abs(out["x"] - 1.0) <= RATE_TOL
+
+    def test_infeasible_region_every_probe_none(self):
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0})
+        lp.set_lower_bound("x", 5.0)
+        lp.add_constraint({"x": 1.0}, 2.0)
+        out = RevisedBackend().probe_max_values(lp, ["x"])
+        assert out == {"x": None}
+
+    def test_empty_targets(self):
+        assert RevisedBackend().probe_max_values(self._region(), []) == {}
+
+    def test_maxmin_with_and_without_batching_agree(self):
+        """The ladder run through batched probes (revised) matches the
+        per-probe loop (dense) variable by variable."""
+        lp = self._region()
+        lp.objective = {"x": 1.0, "y": 1.0, "z": 1.0}
+        dense = lexicographic_maxmin(lp, backend="simplex")
+        revised = lexicographic_maxmin(lp, backend="revised")
+        assert revised.status == dense.status == "optimal"
+        for v in dense.values:
+            assert abs(revised.values[v] - dense.values[v]) <= RATE_TOL
+
+
+class TestResilientChainRevised:
+    def test_revised_backend_chain_serves_warm(self):
+        backend = ResilientLPBackend(backend="revised")
+        analysis = ContentionAnalysis(fig6.make_scenario())
+        alloc = basic_fairness_lp_allocation(analysis, backend=backend)
+        ref = basic_fairness_lp_allocation(analysis, backend="revised")
+        for fid, rate in ref.shares.items():
+            assert abs(alloc.shares[fid] - rate) <= RATE_TOL
+        assert backend.served["warm"] > 0
+        assert backend.fallbacks == 0
+
+    def test_forced_demotion_reaches_cold_then_exact(self, monkeypatch):
+        def boom(lp, start_basis=None):
+            raise RuntimeError("forced failure")
+
+        monkeypatch.setattr("repro.resilience.degrade.solve_revised", boom)
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0})
+        lp.add_constraint({"x": 1.0}, 2.0)
+        backend = ResilientLPBackend(backend="revised")
+        solution = backend(lp)
+        assert solution.is_optimal
+        assert abs(solution.values["x"] - 2.0) <= RATE_TOL
+        assert backend.served["exact"] == 1
+        assert backend.fallbacks == 2  # warm and cold both demoted
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ResilientLPBackend(backend="no-such-solver")
+
+
+class TestSolverFrontend:
+    def test_registered_backend_name(self):
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0})
+        lp.add_constraint({"x": 1.0}, 1.5)
+        with using_registry() as reg:
+            sol = solve(lp, "revised")
+        assert sol.is_optimal
+        assert reg.counters["lp.solves.revised"].value == 1
+        assert reg.counters["lp.revised.solves"].value == 1

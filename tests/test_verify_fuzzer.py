@@ -268,6 +268,72 @@ class TestChurnMode:
                    for name, ok, _details in case.checks)
 
 
+class TestBackendAxis:
+    def test_revised_backend_clean_run(self):
+        """Zero oracle disagreements with the revised backend driving
+        every LP check across seeded fuzz cases."""
+        report = run_fuzz(cases=8, seed=0, backend="revised")
+        assert report.ok
+        assert not report.failures
+        assert report.backend == "revised"
+        assert report.to_dict()["backend"] == "revised"
+        assert "[backend revised]" in report.render()
+
+    def test_default_backend_unchanged(self):
+        report = run_fuzz(cases=2, seed=0)
+        assert report.backend == "simplex"
+        assert "[backend" not in report.render()
+
+    def test_backend_runs_agree_check_by_check(self):
+        dense = run_fuzz(cases=5, seed=3)
+        revised = run_fuzz(cases=5, seed=3, backend="revised")
+        assert dense.checks == revised.checks
+
+    def test_reproducer_records_backend(self, tmp_path):
+        report = run_fuzz(
+            cases=3, seed=0, inject_fault=True, backend="revised",
+            reproducer_dir=str(tmp_path),
+        )
+        assert report.failures
+        doc = json.loads(
+            open(report.failures[0].reproducer_path).read()
+        )
+        assert doc["backend"] == "revised"
+
+    def test_run_lp_checks_is_the_lp_subset_of_run(self):
+        scenario = generate_scenario(RngRegistry(0), 0)
+        suite = VerificationSuite(backend="revised")
+        lp_only = suite.run_lp_checks(scenario)
+        assert [o.name for o in lp_only] == [
+            "lp.clique_capacity",
+            "lp.basic_fairness",
+            "lp.float_vs_exact",
+            "lp.allocation_total_optimal",
+        ]
+        full = {o.name: o.status for o in suite.run(scenario)}
+        for o in lp_only:
+            assert o.status == full[o.name]
+
+    def test_lp_failures_shrink_without_clique_reruns(self, monkeypatch):
+        """Shrinking an lp.* failure must not re-run the exponential
+        brute-force clique oracle on every candidate: exactly one call
+        (the original failing case), zero during shrinking."""
+        import repro.verify.fuzzer as fuzzer_mod
+
+        calls = {"n": 0}
+        real = fuzzer_mod.cliques_agree
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fuzzer_mod, "cliques_agree", counting)
+        report = run_fuzz(cases=1, seed=0, inject_fault=True)
+        assert report.failures
+        assert report.failures[0].check.startswith("lp.")
+        assert calls["n"] == 1
+
+
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_fuzz_is_reproducible(seed):
     a = run_fuzz(cases=4, seed=seed)

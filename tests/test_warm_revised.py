@@ -1,0 +1,176 @@
+"""WarmLPCache x revised backend.
+
+The cache stores structure-stable bases; this suite proves the revised
+backend slots in as its solver without weakening any warm-start
+guarantee: warm == cold *bitwise* on the churn re-solve timeline,
+stale-basis fallbacks stay reason-tagged on counters/events, and every
+``lp.solve`` span now says which backend produced it.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.allocation import basic_fairness_lp_allocation
+from repro.core.contention import ContentionAnalysis
+from repro.core.model import Scenario
+from repro.lp import LinearProgram, solve_revised, solve_simplex
+from repro.obs import using_event_bus, using_registry, using_tracer
+from repro.perf.warm import WarmLPCache
+from repro.scenarios.random_topology import (
+    random_connected_network,
+    random_flows,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    prev_reg = obs.get_registry()
+    prev_tracer = obs.get_tracer()
+    prev_bus = obs.get_event_bus()
+    obs.set_registry(None)
+    obs.set_tracer(None)
+    obs.set_event_bus(None)
+    yield
+    obs.set_registry(prev_reg)
+    obs.set_tracer(prev_tracer)
+    obs.set_event_bus(prev_bus)
+
+
+def sample_lp(cap=4.0, ycap=3.0):
+    lp = LinearProgram()
+    lp.maximize({"x": 1.0, "y": 2.0})
+    lp.add_constraint({"x": 1.0, "y": 1.0}, cap)
+    lp.add_constraint({"y": 1.0}, ycap)
+    lp.set_lower_bound("x", 0.5)
+    return lp
+
+
+def churn_scenario(seed=3):
+    net = random_connected_network(20, seed=seed)
+    flows = random_flows(net, 6, seed=seed + 1)
+    return Scenario(net, flows, name="churn", capacity=1.0)
+
+
+def churn_sequence(scenario):
+    ids = scenario.flow_ids
+    return [
+        ids,
+        [i for i in ids if i != ids[2]],
+        [i for i in ids if i not in (ids[2], ids[4])],
+        [i for i in ids if i != ids[4]],
+        ids,
+    ]
+
+
+class TestCacheWithRevisedSolver:
+    def test_churn_timeline_warm_equals_cold_bitwise(self):
+        """The acceptance sequence of the dynamic experiment, solved by
+        the revised backend through the cache: every re-solve must be
+        bitwise identical to a cold revised solve."""
+        scenario = churn_scenario()
+        cache = WarmLPCache(solve_fn=solve_revised)
+        for active in churn_sequence(scenario):
+            sub = Scenario(
+                scenario.network,
+                [f for f in scenario.flows if f.flow_id in set(active)],
+                name="churn-active", capacity=scenario.capacity,
+            )
+            analysis = ContentionAnalysis(sub)
+            cold = basic_fairness_lp_allocation(analysis,
+                                                backend="revised")
+            warm = basic_fairness_lp_allocation(
+                analysis, backend=cache.solver
+            )
+            assert warm.shares == cold.shares  # bitwise, not approx
+            assert warm.lp_solution.status == cold.lp_solution.status
+        assert cache.hits > 0
+
+    def test_cache_hit_installs_basis_into_revised(self):
+        cache = WarmLPCache(solve_fn=solve_revised)
+        cache.solver(sample_lp())
+        with using_registry() as reg:
+            sol = cache.solver(sample_lp(5.0, 2.5))  # structural sibling
+        assert sol.is_optimal
+        assert cache.hits == 1
+        assert reg.counters["perf.lp.warm.attempts"].value == 1
+        assert reg.counters["perf.lp.warm.installed"].value == 1
+        assert reg.counters["lp.revised.solves"].value == 1
+
+    def test_default_cache_still_uses_dense_solver(self):
+        with using_registry() as reg:
+            WarmLPCache().solver(sample_lp())
+        assert "lp.revised.solves" not in reg.counters
+
+
+class TestStaleBasisAttribution:
+    def test_reason_tagged_counters_and_event_span(self):
+        stale = (("s", 0), ("s", 1), ("s", 2))  # wrong row count
+        with using_registry() as reg:
+            with using_tracer() as tracer:
+                with using_event_bus() as bus:
+                    sol = solve_revised(sample_lp(), start_basis=stale)
+        assert sol.is_optimal
+        assert reg.counters["lp.warm.stale_basis"].value == 1
+        assert reg.counters["lp.warm.stale_basis.row-count"].value == 1
+        solve = next(r for r in tracer.to_records()
+                     if r["name"] == "lp.solve")
+        assert solve["tags"]["warm"] is True
+        assert solve["tags"]["stale_basis"] == "row-count"
+        (event,) = [e for e in bus.pending
+                    if e["kind"] == "lp.warm.stale_basis"]
+        assert event["span"] == solve["span"]
+        assert event["reason"] == "row-count"
+
+    def test_singular_basis_reason(self):
+        """Structurally plausible labels whose columns are linearly
+        dependent: the factorization must reject them, tagged
+        ``singular``, and the solve still lands on the cold answer."""
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0, "y": 1.0})
+        lp.add_constraint({"x": 1.0, "y": 1.0}, 4.0)
+        lp.add_constraint({"x": 2.0, "y": 2.0}, 8.0)  # dependent row
+        cold = solve_revised(lp)
+        with using_registry() as reg:
+            warm = solve_revised(lp, start_basis=(("v", 0), ("v", 1)))
+        assert warm.values == cold.values
+        assert reg.counters["lp.warm.stale_basis.singular"].value == 1
+
+    def test_infeasible_point_reason(self):
+        """A nonsingular basis whose basic solution leaves the positive
+        orthant is rejected, not used as an infeasible starting vertex.
+        With x >= 2 as a surplus row, the basis {g0, s1} solves
+        g0 = -2 < 0."""
+        lp = LinearProgram()
+        lp.maximize({"x": 1.0})
+        lp.add_constraint({"x": -1.0}, -2.0)  # x >= 2 (surplus row)
+        lp.add_constraint({"x": 1.0}, 10.0)
+        cold = solve_revised(lp)
+        assert cold.is_optimal
+        with using_registry() as reg:
+            warm = solve_revised(lp, start_basis=(("g", 0), ("s", 1)))
+        assert warm.values == cold.values
+        key = "lp.warm.stale_basis.infeasible-point"
+        assert reg.counters[key].value == 1
+
+
+class TestBackendSpanTag:
+    @staticmethod
+    def _solve_span(tracer):
+        return next(r for r in tracer.to_records()
+                    if r["name"] == "lp.solve")
+
+    def test_revised_solve_span_tagged(self):
+        with using_tracer() as tracer:
+            solve_revised(sample_lp())
+        assert self._solve_span(tracer)["tags"]["backend"] == "revised"
+
+    def test_dense_solve_span_tagged(self):
+        with using_tracer() as tracer:
+            solve_simplex(sample_lp())
+        assert self._solve_span(tracer)["tags"]["backend"] == "simplex"
+
+    def test_cache_solver_span_carries_backend(self):
+        cache = WarmLPCache(solve_fn=solve_revised)
+        with using_tracer() as tracer:
+            cache.solver(sample_lp())
+        assert self._solve_span(tracer)["tags"]["backend"] == "revised"
