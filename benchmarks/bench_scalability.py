@@ -331,6 +331,191 @@ def test_emit_perf_revised_lp(perf_section):
     perf_section("revised_lp", payload)
 
 
+#: Quick mode (CI's shard-smoke job): fewer churn epochs, no hard
+#: speedup gate, and the 100k batch point is skipped.  The emitted keys
+#: are a subset of the full run's, so the conftest regression walker
+#: only compares what quick mode actually measured.
+_SHARDED_QUICK_ENV = "BENCH_SHARDED_QUICK"
+
+
+def ladder_islands(k=8, chain=30, span=4, flows_per=32):
+    """``k`` disjoint chains — exactly ``k`` contention components.
+
+    Each island is a ``chain``-node line network carrying ``flows_per``
+    flows of ``span`` hops, staggered along the chain with weights
+    cycling 1/2/3, so every island is a non-trivial multi-clique LP.
+    Churn that touches island 0 leaves the other ``k - 1`` components'
+    fingerprints intact — the situation the per-component memo exists
+    for.
+    """
+    from repro.core.model import Flow, Network, Scenario
+
+    nodes, links, flows = [], [], []
+    for i in range(k):
+        cn = [f"c{i}_{j}" for j in range(chain)]
+        nodes += cn
+        links += [(cn[j], cn[j + 1]) for j in range(chain - 1)]
+        for j in range(flows_per):
+            start = j % (chain - span)
+            flows.append(Flow(
+                f"f{i}_{j}", tuple(cn[start:start + span + 1]),
+                1.0 + (j % 3),
+            ))
+    return Scenario(Network.from_links(nodes, links), flows,
+                    name=f"ladder-islands-{k}")
+
+
+def star_island_universe(islands, leaves=8):
+    """``islands`` hub-and-spoke cells: one-hop flows, one clique each.
+
+    The contention graph and cliques are handed to
+    :class:`ContentionAnalysis` precomputed (the documented recipe for
+    very large synthetic universes), so the build cost is linear in the
+    flow count rather than the geometric rebuild's quadratic pair scan.
+    Every island's basic floors sum exactly to capacity
+    (``leaves * B/leaves``), so the whole universe is admissible.
+    """
+    from repro.core.contention import contention_graph_from_pairs
+    from repro.core.model import (
+        Flow, Network, Scenario, Subflow, SubflowId,
+    )
+
+    nodes, links, flows, subflows, pairs, cliques = [], [], [], [], [], []
+    for i in range(islands):
+        hub = f"h{i}"
+        nodes.append(hub)
+        island = []
+        for j in range(leaves):
+            leaf = f"n{i}_{j}"
+            nodes.append(leaf)
+            links.append((hub, leaf))
+            fid = f"f{i}_{j}"
+            flows.append(Flow(fid, (hub, leaf), 1.0))
+            sid = SubflowId(fid, 1)
+            subflows.append(Subflow(sid, hub, leaf, 1.0))
+            island.append(sid)
+        for a in range(leaves):
+            for b in range(a + 1, leaves):
+                pairs.append((island[a], island[b]))
+        cliques.append(frozenset(island))
+    scenario = Scenario(
+        Network.from_links(nodes, links), flows,
+        name=f"star-islands-{islands}",
+    )
+    graph = contention_graph_from_pairs(subflows, pairs)
+    return ContentionAnalysis(scenario, graph=graph, cliques=cliques)
+
+
+def test_emit_perf_sharded_alloc(perf_section):
+    """Emit the ``sharded_alloc`` section of BENCH_perf.json.
+
+    Two measurements:
+
+    * ``churn``: the k=8 island family under churn that touches island 0
+      only, sharded (jobs=8) vs the monolithic reference runtime.  The
+      committed journals are asserted bitwise equal before any timing is
+      recorded, and the ``runtime.shard.reused`` counter proves only the
+      dirty component was re-solved.  Gate (full mode): the sharded
+      epoch at least 3x faster end to end.
+    * ``batch_100k`` (full mode only): 100,000 one-hop flows over 12,500
+      star islands registered and allocated through
+      :class:`BatchAllocationEngine` in one epoch, then one
+      release/re-register churn cycle; p50/p99 epoch latency comes from
+      the ``runtime.epoch.latency_ms`` histogram via the standard SLO
+      report.
+
+    ``BENCH_SHARDED_QUICK=1`` shrinks the churn loop and skips the
+    batch point (CI's shard-smoke job).
+    """
+    import gc
+    import time
+
+    from repro.obs.slo import slo_report, validate_slo
+    from repro.perf.shard import BatchAllocationEngine
+    from repro.resilience.admission import ADMIT
+    from repro.resilience.runtime import AllocatorRuntime, RuntimeConfig
+
+    quick = bool(os.environ.get(_SHARDED_QUICK_ENV))
+    epochs = 3 if quick else 8
+    scenario = ladder_islands()
+    ids = [f.flow_id for f in scenario.flows]
+
+    def churn_run(sharded):
+        with obs.using_registry() as reg:
+            runtime = AllocatorRuntime(scenario, RuntimeConfig(
+                sharded=sharded, jobs=8 if sharded else 1,
+                admission=False,
+            ))
+            runtime.set_active(ids)  # prime: the steady state under test
+            gc.collect()
+            t0 = time.perf_counter()
+            for e in range(epochs):
+                runtime.set_active([f for f in ids if f != f"f0_{e}"])
+            elapsed = time.perf_counter() - t0
+        journal = [r.to_dict() for r in runtime.journal]
+        return journal, elapsed, reg.snapshot()["counters"]
+
+    sharded_journal, sharded_s, counters = churn_run(True)
+    mono_journal, mono_s, _ = churn_run(False)
+    assert sharded_journal == mono_journal  # bitwise, before any timing
+    # Each churn epoch re-solved island 0 alone and reused the other 7.
+    assert counters["runtime.shard.reused"] == epochs * 7
+    assert counters["runtime.shard.dirty"] == 8 + epochs
+    speedup = mono_s / sharded_s
+
+    payload = {
+        "kernel": "component-sharded allocation (per-component memo + "
+                  "dirty tracking) vs monolithic warm runtime",
+        "churn": {
+            "islands": 8,
+            "flows": len(ids),
+            "epochs": epochs,
+            "sharded_epoch_ms": sharded_s / epochs * 1e3,
+            "monolithic_epoch_ms": mono_s / epochs * 1e3,
+            "speedup": speedup,
+        },
+    }
+
+    if not quick:
+        # Acceptance gate: churn epochs at least 3x faster sharded.
+        assert speedup >= 3.0, payload["churn"]
+
+        analysis = star_island_universe(islands=12_500)
+        flow_ids = [f.flow_id for f in analysis.scenario.flows]
+        island0 = flow_ids[:8]
+        with obs.using_registry() as reg:
+            engine = BatchAllocationEngine(analysis)
+            t0 = time.perf_counter()
+            decisions = engine.register(flow_ids)
+            register_s = time.perf_counter() - t0
+            assert all(d.action == ADMIT for d in decisions)
+            rates = engine.allocate()
+            assert len(rates) == len(flow_ids)
+            assert engine.solver.last_stats["dirty"] == 12_500
+            # One churn cycle: island 0 leaves and returns; every epoch
+            # after the first reuses all cached components.
+            engine.release(island0)
+            engine.allocate()
+            assert engine.solver.last_stats["dirty"] == 0
+            engine.register(island0)
+            rates = engine.allocate()
+            assert engine.solver.last_stats["dirty"] == 0
+            assert len(rates) == len(flow_ids)
+            slo = slo_report(reg)
+        validate_slo(slo)
+        latency = slo["epoch_latency_ms"]
+        assert latency["count"] == 3
+        payload["batch_100k"] = {
+            "islands": 12_500,
+            "flows": len(flow_ids),
+            "admitted": len(decisions),
+            "register_ms": register_s * 1e3,
+            "epoch_latency_ms": latency,
+        }
+
+    perf_section("sharded_alloc", payload)
+
+
 def test_obs_disabled_overhead_under_two_percent():
     """Instrumentation with no registry active must stay in the noise.
 

@@ -180,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="float LP solver under test (default simplex); "
                         "'revised' fuzzes the sparse revised-simplex "
                         "backend against the same exact-Fraction oracle")
+    p.add_argument("--sharded", action="store_true",
+                   help="also run the component-sharded differential "
+                        "axis: ShardedSolver at jobs=1/2 vs the "
+                        "monolithic LP, and sharded-vs-monolithic "
+                        "runtime journals (centralized + distributed "
+                        "lossy), all asserted bitwise identical")
     _add_obs_flags(p)
 
     p = sub.add_parser(
@@ -204,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", action="store_true",
                    help="perturb every degraded allocation to prove the "
                         "safety checkers catch a bad allocation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the case sweep (0 = all "
+                        "cores, default 1); the report is bit-identical "
+                        "to a serial run")
     _add_obs_flags(p)
 
     p = sub.add_parser(
@@ -235,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", action="store_true",
                    help="perturb every final allocation to prove the "
                         "safety checkers catch a bad allocation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for each runtime's shard "
+                        "pool (0 = all cores, default 1); shares and "
+                        "reports are bitwise identical at any job count")
     _add_obs_flags(p)
 
     p = sub.add_parser("show", help="render a scenario and its analysis")
@@ -523,6 +537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
                 faults=args.faults,
                 churn=args.churn,
+                sharded=args.sharded,
             )
             reports.append(report)
             return report.render(), "random-fuzz", report.to_dict()
@@ -531,7 +546,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args, "verify", args.seed,
             {"cases": args.cases, "inject_fault": args.inject_fault,
              "faults": args.faults, "churn": args.churn,
-             "backend": args.backend},
+             "backend": args.backend, "sharded": args.sharded},
             verify_payload,
         )
         if code != 0:
@@ -554,6 +569,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_retries=args.max_retries,
                 max_rounds=args.max_rounds,
                 inject_fault=args.inject_fault,
+                jobs=args.jobs,
             )
             chaos_reports.append(report)
             return report.render(), "random-chaos", report.to_dict()
@@ -562,7 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args, "chaos", args.seed,
             {"cases": args.cases, "loss_rates": loss_rates,
              "crash_prob": args.crash_prob,
-             "inject_fault": args.inject_fault},
+             "inject_fault": args.inject_fault, "jobs": args.jobs},
             chaos_payload,
         )
         if code != 0:
@@ -593,6 +609,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 hysteresis=hysteresis,
                 inject_fault=args.inject_fault,
                 crash_restore=not args.no_crash_restore,
+                jobs=args.jobs,
             )
             churn_reports.append(report)
             return report.render(), "random-churn", report.to_dict()
@@ -602,7 +619,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             {"cases": args.cases, "loss_rates": churn_rates,
              "epochs": args.epochs, "crash_prob": args.crash_prob,
              "hysteresis": hysteresis,
-             "inject_fault": args.inject_fault},
+             "inject_fault": args.inject_fault, "jobs": args.jobs},
             churn_payload,
         )
         if code != 0:

@@ -39,13 +39,25 @@ from .cliques import (
 )
 from .incremental import IncrementalContention
 from .parallel import ParallelSweep, effective_jobs
+from .shard import (
+    BatchAllocationEngine,
+    ComponentProblem,
+    ShardedSolver,
+    component_fingerprint,
+    component_problems,
+)
 from .warm import WarmLPCache
 
 __all__ = [
     "AnalysisCache",
+    "BatchAllocationEngine",
+    "ComponentProblem",
     "IncrementalContention",
     "ParallelSweep",
+    "ShardedSolver",
     "WarmLPCache",
+    "component_fingerprint",
+    "component_problems",
     "adjacency_bitmasks",
     "adjacency_matrix",
     "bitset_cliques_from_masks",

@@ -1,0 +1,630 @@
+"""Component-sharded phase-1 allocation with per-component memoization.
+
+The Prop. 2 LP factorizes *exactly* over the connected components of the
+subflow contention graph: a maximal clique is a connected subgraph, so
+every Eq. (6) capacity constraint involves subflows of exactly one
+contending flow group, and the per-group LPs share no variables.  Three
+layers exploit that:
+
+* :func:`component_problems` splits one
+  :class:`~repro.core.contention.ContentionAnalysis` into independent
+  per-component problems in a **single pass** over the global clique
+  list.  Each problem's LP is byte-identical to the one
+  :func:`repro.core.allocation.build_basic_fairness_lp` assembles for
+  the same group (same variable registration order, same constraint
+  order and coefficient insertion order, same ``clique-<k>`` labels,
+  same basic-share lower bounds) — the foundation of the bitwise
+  sharded==monolithic guarantee.
+* :class:`ShardedSolver` solves the problems with a per-component memo
+  keyed by a structural fingerprint (dirty tracking: churn that leaves
+  a component's flows, cliques, weights, and capacity untouched reuses
+  its cached shares) and fans the dirty components across a
+  :class:`~repro.perf.parallel.ParallelSweep` process pool, merging in
+  component order — the merged result is bitwise identical to the
+  serial monolithic solve at any job count.
+* :class:`BatchAllocationEngine` fronts the solver with a
+  register / allocate / release batch API in the shape of psim's
+  ``BandwidthAllocator`` family: campaigns push whole lists of flows
+  through admission control (per-component batch feasibility with a
+  greedy per-flow fallback) and solve one epoch over 100k+ concurrent
+  flows.
+
+Fingerprints hash the LP *structure in insertion order* (column order
+affects simplex pivoting, hence bitwise results), excluding constraint
+labels — labels embed the global clique index, which shifts when other
+components churn.  Frozenset iteration order is hash-seed dependent, so
+fingerprints are stable within a process but may differ across
+processes; a restored cache in a new interpreter can therefore miss
+where the original would hit, which costs a re-solve and never changes
+a result (the memo is value-neutral by construction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple,
+)
+
+from ..core.contention import ContentionAnalysis
+from ..core.fairness_defs import basic_shares
+from ..core.model import Flow, Scenario, SubflowId
+from ..graphs import Graph, connected_components
+from ..graphs.cliques import clique_vertex_order, maximal_cliques, sort_cliques
+from ..lp import LinearProgram, lexicographic_maxmin
+from ..obs.registry import incr, observe, phase_timer
+from ..obs.trace import span
+from .parallel import ParallelSweep
+from .warm import WarmLPCache
+
+__all__ = [
+    "BatchAllocationEngine",
+    "ComponentProblem",
+    "ShardedSolver",
+    "component_fingerprint",
+    "component_problems",
+]
+
+Clique = FrozenSet[SubflowId]
+
+
+@dataclass
+class ComponentProblem:
+    """One contending flow group's LP, ready to solve in isolation.
+
+    Plain picklable data: ships to pool workers unchanged.  ``weights``
+    maps LP variable names to flow weights for the lexicographic
+    max-min refinement; ``fingerprint`` keys the per-component memo.
+    """
+
+    index: int
+    group_ids: Tuple[str, ...]
+    lp: LinearProgram
+    weights: Dict[str, float]
+    backend: str
+    fingerprint: str
+
+
+def component_fingerprint(
+    lp: LinearProgram, weights: Dict[str, float], backend: str
+) -> str:
+    """Structural hash of one component problem.
+
+    Everything that can influence the solved shares participates, in
+    the order it will reach the solver: variable registration order,
+    objective terms, constraint coefficient pairs in insertion order
+    with their bounds (capacity rides in the bounds), lower bounds, the
+    max-min weights, and the backend.  Constraint labels are excluded
+    on purpose — they carry the *global* clique index, which changes
+    when unrelated components churn.
+    """
+    doc = [
+        backend,
+        lp.variables,
+        [[v, c] for v, c in lp.objective.items()],
+        [
+            [[[v, c] for v, c in con.coeffs.items()], con.bound]
+            for con in lp.constraints
+        ],
+        [[v, b] for v, b in lp.lower_bounds.items()],
+        [[v, w] for v, w in weights.items()],
+    ]
+    blob = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def component_problems(
+    analysis: ContentionAnalysis,
+    capacity: Optional[float] = None,
+    backend: str = "simplex",
+) -> List[ComponentProblem]:
+    """Split ``analysis`` into per-component problems, one per group.
+
+    A single pass over the global clique list assigns each clique to
+    the (unique) group owning its flows, so the cost is
+    O(groups + cliques) rather than the monolithic builder's
+    O(groups x cliques) rescan — the difference between seconds and
+    hours at 10k+ components.  The produced LPs are byte-identical to
+    per-group :func:`~repro.core.allocation.build_basic_fairness_lp`
+    output; ``tests/test_shard.py`` asserts the equivalence
+    differentially.
+    """
+    b = capacity if capacity is not None else analysis.scenario.capacity
+    with phase_timer("perf.shard.split"):
+        lps: List[LinearProgram] = []
+        group_sets: List[Set[str]] = []
+        group_of: Dict[str, int] = {}
+        for gi, group in enumerate(analysis.groups):
+            lp = LinearProgram()
+            group_ids = [f.flow_id for f in group]
+            for fid in group_ids:
+                lp.add_variable(f"r_{fid}", objective_coeff=1.0)
+                group_of[fid] = gi
+            lps.append(lp)
+            group_sets.append(set(group_ids))
+        for k, clique in enumerate(analysis.cliques):
+            coeffs = analysis.clique_coefficients(clique)
+            gi = group_of[next(iter(coeffs))]
+            group_set = group_sets[gi]
+            if not set(coeffs) <= group_set:
+                raise RuntimeError(
+                    f"clique {k} spans contending flow groups"
+                )
+            lps[gi].add_constraint(
+                {f"r_{fid}": float(n) for fid, n in coeffs.items()
+                 if fid in group_set},
+                b,
+                label=f"clique-{k}:"
+                      f"{'+'.join(sorted(str(s) for s in clique))}",
+            )
+        problems: List[ComponentProblem] = []
+        for gi, group in enumerate(analysis.groups):
+            group_ids = [f.flow_id for f in group]
+            basic = basic_shares(group, b)
+            for fid in group_ids:
+                lps[gi].set_lower_bound(f"r_{fid}", basic[fid])
+            weights = {f"r_{f.flow_id}": f.weight for f in group}
+            problems.append(ComponentProblem(
+                index=gi,
+                group_ids=tuple(group_ids),
+                lp=lps[gi],
+                weights=weights,
+                backend=backend,
+                fingerprint=component_fingerprint(
+                    lps[gi], weights, backend
+                ),
+            ))
+    incr("perf.shard.splits")
+    return problems
+
+
+def _solve_component_with(
+    problem: ComponentProblem, backend
+) -> Dict[str, float]:
+    """Solve one component's lexicographic max-min LP with ``backend``.
+
+    The failure message mirrors the monolithic
+    :func:`~repro.core.allocation.basic_fairness_lp_allocation` so a
+    sharded run raises exactly where the monolithic reference would.
+    """
+    sol = lexicographic_maxmin(
+        problem.lp, problem.weights, fix_objective=True,
+        backend=backend,
+    )
+    if not sol.is_optimal:
+        raise RuntimeError(
+            f"basic-fairness LP unexpectedly {sol.status}:\n"
+            f"{problem.lp.pretty()}"
+        )
+    return {fid: sol[f"r_{fid}"] for fid in problem.group_ids}
+
+
+def _solve_component(problem: ComponentProblem) -> Dict[str, float]:
+    """Module-level, picklable pool-worker entry (cold solve)."""
+    return _solve_component_with(problem, problem.backend)
+
+
+class ShardedSolver:
+    """Solve a contention analysis component by component, memoized.
+
+    ``solve`` returns the same flow-id -> share mapping as
+    ``basic_fairness_lp_allocation(analysis, backend=...).shares`` —
+    bitwise, at any ``jobs`` setting — because components are solved
+    with the identical LPs and merged in component order.  Components
+    whose fingerprint is cached are *reused* (dirty tracking); only the
+    dirty remainder is solved, across a process pool when ``jobs > 1``.
+
+    Telemetry per solve: ``runtime.shard.components`` / ``dirty`` /
+    ``reused`` counters, a ``runtime.shard.parallel_ms`` observation
+    covering the dirty-solve fan-out, and a ``runtime.shard`` span; the
+    same numbers land in :attr:`last_stats` for programmatic asserts.
+    """
+
+    def __init__(
+        self,
+        backend: str = "simplex",
+        jobs: Optional[int] = 1,
+        memo: bool = True,
+        max_entries: int = 65536,
+        warm: bool = True,
+    ) -> None:
+        self.backend = backend
+        self.jobs = jobs
+        self.max_entries = int(max_entries)
+        self._memo: Optional["OrderedDict[str, Dict[str, float]]"] = (
+            OrderedDict() if memo else None
+        )
+        # Warm-start basis reuse for dirty solves that run in-process.
+        # Warm and cold solves are bitwise identical (the cache only
+        # seeds the simplex basis), so this never affects results; pool
+        # workers solve cold because the cache can't cross processes.
+        self._warm: Optional[WarmLPCache] = (
+            WarmLPCache(max_entries=self.max_entries)
+            if warm and backend == "simplex" else None
+        )
+        self.last_stats: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        analysis: ContentionAnalysis,
+        capacity: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Sharded equivalent of the monolithic phase-1 allocation."""
+        with phase_timer("runtime.shard.solve"), \
+                span("runtime.shard") as shard_span:
+            problems = component_problems(
+                analysis, capacity, backend=self.backend
+            )
+            cached: Dict[int, Dict[str, float]] = {}
+            dirty: List[ComponentProblem] = []
+            for p in problems:
+                if self._memo is not None and p.fingerprint in self._memo:
+                    cached[p.index] = self._memo[p.fingerprint]
+                    self._memo.move_to_end(p.fingerprint)
+                else:
+                    dirty.append(p)
+            t0 = time.perf_counter()
+            if dirty:
+                sweep = ParallelSweep(self.jobs)
+                if (self._warm is not None
+                        and (sweep.jobs <= 1 or len(dirty) <= 1)):
+                    # The sweep would run serial anyway: solve in-process
+                    # with warm-started bases instead of cold.
+                    solved = [
+                        _solve_component_with(p, self._warm.solver)
+                        for p in dirty
+                    ]
+                else:
+                    solved = sweep.map(_solve_component, dirty)
+            else:
+                solved = []
+            parallel_ms = (time.perf_counter() - t0) * 1e3
+            for p, result in zip(dirty, solved):
+                cached[p.index] = result
+                if self._memo is not None:
+                    self._memo[p.fingerprint] = result
+                    while len(self._memo) > self.max_entries:
+                        self._memo.popitem(last=False)
+            shares: Dict[str, float] = {}
+            for p in problems:
+                shares.update(cached[p.index])
+            reused = len(problems) - len(dirty)
+            incr("runtime.shard.components", len(problems))
+            incr("runtime.shard.dirty", len(dirty))
+            incr("runtime.shard.reused", reused)
+            observe("runtime.shard.parallel_ms", parallel_ms)
+            shard_span.tag(
+                components=len(problems), dirty=len(dirty),
+                reused=reused,
+            )
+            self.last_stats = {
+                "components": len(problems),
+                "dirty": len(dirty),
+                "reused": reused,
+                "parallel_ms": parallel_ms,
+            }
+        return shares
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Optional[List[List[object]]]:
+        """JSON-ready memo dump, LRU order preserved.
+
+        Mirrors :meth:`WarmLPCache.dump_state`: a restored solver must
+        reproduce the same reuse/eviction behaviour as one that never
+        crashed, so entries keep their recency order.
+        """
+        if self._memo is None:
+            return None
+        return [
+            [fp, [[fid, share] for fid, share in entry.items()]]
+            for fp, entry in self._memo.items()
+        ]
+
+    def load_state(self, doc: Iterable[Sequence[object]]) -> None:
+        """Restore a :meth:`dump_state` dump (value-neutral on mismatch:
+        a stale fingerprint simply never hits again and is evicted)."""
+        if self._memo is None:
+            return
+        self._memo.clear()
+        for fp, pairs in doc:
+            self._memo[str(fp)] = {
+                str(fid): float(share) for fid, share in pairs
+            }
+            while len(self._memo) > self.max_entries:
+                self._memo.popitem(last=False)
+
+
+class BatchAllocationEngine:
+    """Batch register / allocate / release over a fixed flow universe.
+
+    The universe — node geometry, every flow that can ever appear, the
+    full contention graph and its cliques — is fixed by the
+    ``analysis`` handed to the constructor (build it once; for very
+    large synthetic universes pass a precomputed graph and clique list
+    to :class:`ContentionAnalysis` to skip the geometric rebuild).
+    Campaigns then drive epochs with flow-id *lists*:
+
+    * :meth:`register` admission-gates a batch.  Candidates are grouped
+      by connected component of the trial graph; a component whose
+      whole batch keeps every floor feasible (Eq. 6) admits in one
+      check, otherwise the engine falls back to greedy per-flow FIFO
+      within that component.  Every verdict flows through the standard
+      :class:`~repro.resilience.admission.AdmissionController`, so the
+      decision log and ``admission.*`` counters match the runtime's.
+    * :meth:`allocate` advances one epoch: analyze the active subset
+      (induced subgraph + per-component clique cache), solve it with
+      the :class:`ShardedSolver`, and record the epoch wall latency in
+      ``runtime.epoch.latency_ms`` — the histogram the SLO report
+      summarizes into p50/p95/p99.
+    * :meth:`release` retires flows; their component alone goes dirty.
+    """
+
+    def __init__(
+        self,
+        analysis: ContentionAnalysis,
+        capacity: Optional[float] = None,
+        backend: str = "simplex",
+        jobs: Optional[int] = 1,
+        admission: bool = True,
+        queue_rejected: bool = False,
+        max_queue: int = 0,
+        memo: bool = True,
+        max_cached_components: int = 65536,
+        warm: bool = True,
+    ) -> None:
+        # Deferred import: repro.resilience.runtime imports this module,
+        # and importing repro.resilience.admission initializes the whole
+        # resilience package.
+        from ..resilience.admission import AdmissionController
+
+        self.analysis = analysis
+        self.capacity = (
+            capacity if capacity is not None
+            else analysis.scenario.capacity
+        )
+        self.solver = ShardedSolver(
+            backend=backend, jobs=jobs, memo=memo,
+            max_entries=max_cached_components, warm=warm,
+        )
+        self.admission = AdmissionController(
+            enabled=admission,
+            queue_rejected=queue_rejected,
+            max_queue=max_queue,
+        )
+        self.epoch = -1
+        self.active: Set[str] = set()
+        self.rates: Dict[str, float] = {}
+        self._flows: Dict[str, Flow] = {
+            f.flow_id: f for f in analysis.scenario.flows
+        }
+        self._subflows: Dict[str, List[SubflowId]] = {
+            f.flow_id: [s.sid for s in f.subflows]
+            for f in analysis.scenario.flows
+        }
+        self.max_cached_components = int(max_cached_components)
+        self._component_cliques: "OrderedDict[Clique, List[Clique]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Batch admission
+    # ------------------------------------------------------------------
+    def register(self, flow_ids: Sequence[str], details: str = ""):
+        """Admission-gate a batch of arrivals; returns the decisions.
+
+        Unknown ids raise ``KeyError`` (the universe is fixed); already
+        active or duplicate ids are skipped.  Decisions are logged in
+        request order at the epoch :meth:`allocate` will commit next.
+        """
+        from ..resilience.admission import ADMIT, REASON_OK
+
+        epoch = self.epoch + 1
+        unknown = [f for f in flow_ids if f not in self._flows]
+        if unknown:
+            raise KeyError(f"unknown flows {sorted(set(unknown))}")
+        candidates: List[str] = []
+        seen: Set[str] = set()
+        for fid in flow_ids:
+            if fid not in self.active and fid not in seen:
+                seen.add(fid)
+                candidates.append(fid)
+        incr("batch.register.requested", len(flow_ids))
+        if not candidates:
+            return []
+
+        with phase_timer("batch.register"), \
+                span("runtime.batch.register") as reg_span:
+            verdicts: Dict[str, Tuple[str, str]] = {}
+            if not self.admission.enabled:
+                for fid in candidates:
+                    verdicts[fid] = (REASON_OK, details)
+            else:
+                verdicts = self._batch_verdicts(candidates, details)
+            decisions = []
+            for fid in candidates:
+                reason, why = verdicts[fid]
+                decision = self.admission.decide(fid, epoch, reason, why)
+                decisions.append(decision)
+                if decision.action == ADMIT:
+                    self.active.add(fid)
+            reg_span.tag(
+                requested=len(candidates),
+                admitted=sum(1 for d in decisions if d.action == ADMIT),
+            )
+        return decisions
+
+    def _batch_verdicts(
+        self, candidates: List[str], details: str
+    ) -> Dict[str, Tuple[str, str]]:
+        """Per-candidate admission reasons, component-batched.
+
+        One Eq. (6) feasibility probe covers a whole component's batch;
+        only a failing component degrades to greedy per-flow checks in
+        request order (FIFO fairness within the batch).
+        """
+        from ..resilience.admission import REASON_FLOOR, REASON_OK
+
+        trial = self.active | set(candidates)
+        keep = {
+            sid for fid in trial for sid in self._subflows[fid]
+        }
+        graph = self.analysis.graph.subgraph(keep)
+        comp_of: Dict[str, int] = {}
+        comps = connected_components(graph)
+        for idx, comp in enumerate(comps):
+            for sid in comp:
+                comp_of[sid.flow] = idx
+        by_comp: Dict[int, List[str]] = {}
+        for fid in candidates:
+            by_comp.setdefault(comp_of[fid], []).append(fid)
+        # One pass over the universe (FIFO order) keeps 100k-flow
+        # batches linear; a per-component rescan would be quadratic.
+        active_by_comp: Dict[int, List[str]] = {}
+        for fid in self._flows:
+            if fid in self.active:
+                idx = comp_of.get(fid)
+                if idx is not None:
+                    active_by_comp.setdefault(idx, []).append(fid)
+        verdicts: Dict[str, Tuple[str, str]] = {}
+        for idx, comp_candidates in by_comp.items():
+            active_here = active_by_comp.get(idx, [])
+            if self._floors_feasible(active_here + comp_candidates):
+                for fid in comp_candidates:
+                    verdicts[fid] = (REASON_OK, details)
+                continue
+            incr("batch.register.greedy_fallbacks")
+            accepted = list(active_here)
+            for fid in comp_candidates:
+                if self._floors_feasible(accepted + [fid]):
+                    verdicts[fid] = (REASON_OK, details)
+                    accepted.append(fid)
+                else:
+                    verdicts[fid] = (
+                        REASON_FLOOR,
+                        "Eq. (6) fails with every active flow at its "
+                        "basic share",
+                    )
+        return verdicts
+
+    def _floors_feasible(self, flow_ids: Sequence[str]) -> bool:
+        """Eq. (6) over the basic shares of ``flow_ids``' trial set.
+
+        The ids form one prospective membership (typically a single
+        component); shares are computed per contending group of the
+        induced subgraph, exactly as the runtime's admission predicate
+        does over a full analysis.
+        """
+        # induced_subgraph keeps each probe O(component), not O(universe)
+        # — at 100k flows a batch runs ~10k probes.
+        keep = [sid for fid in flow_ids for sid in self._subflows[fid]]
+        graph = self.analysis.graph.induced_subgraph(keep)
+        cliques = self._cliques_of(graph)
+        floors: Dict[str, float] = {}
+        comp_of: Dict[str, int] = {}
+        groups: Dict[int, List[Flow]] = {}
+        for idx, comp in enumerate(connected_components(graph)):
+            for sid in comp:
+                comp_of[sid.flow] = idx
+        for fid in flow_ids:
+            groups.setdefault(comp_of[fid], []).append(self._flows[fid])
+        for members in groups.values():
+            floors.update(basic_shares(members, self.capacity))
+        tol = 1e-9
+        for clique in cliques:
+            load: Dict[str, int] = {}
+            for sid in clique:
+                load[sid.flow] = load.get(sid.flow, 0) + 1
+            total = sum(
+                n * floors.get(fid, 0.0) for fid, n in load.items()
+            )
+            if total > self.capacity + tol:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    def allocate(self) -> Dict[str, float]:
+        """Solve one epoch over the active set; returns flow -> rate."""
+        t0 = time.perf_counter()
+        with phase_timer("batch.allocate"), \
+                span("runtime.batch.allocate") as alloc_span:
+            self.epoch += 1
+            if self.active:
+                analysis = self.active_analysis()
+                self.rates = self.solver.solve(analysis, self.capacity)
+            else:
+                self.rates = {}
+            alloc_span.tag(epoch=self.epoch, flows=len(self.rates))
+        incr("batch.epochs")
+        observe(
+            "runtime.epoch.latency_ms", (time.perf_counter() - t0) * 1e3
+        )
+        return dict(self.rates)
+
+    def release(self, flow_ids: Sequence[str]) -> None:
+        """Retire a batch of flows (unknown/inactive ids are ignored)."""
+        for fid in flow_ids:
+            self.active.discard(fid)
+            self.rates.pop(fid, None)
+            self.admission.drop_waiting(fid)
+        incr("batch.release.flows", len(list(flow_ids)))
+
+    def rate_of(self, flow_id: str) -> float:
+        """Last committed rate of ``flow_id`` (0.0 when not allocated)."""
+        return self.rates.get(flow_id, 0.0)
+
+    # ------------------------------------------------------------------
+    # Analysis plumbing
+    # ------------------------------------------------------------------
+    def active_analysis(self) -> ContentionAnalysis:
+        """Cold-rebuild-identical analysis of the active subset.
+
+        Same recipe as
+        :meth:`~repro.perf.incremental.IncrementalContention.analysis`:
+        induced subgraph in universe insertion order, cliques from the
+        per-component cache, canonical re-sort.  The monolithic
+        differential tests run
+        :func:`~repro.core.allocation.basic_fairness_lp_allocation`
+        over exactly this object.
+        """
+        active_flows = [
+            f for fid, f in self._flows.items() if fid in self.active
+        ]
+        keep = {s.sid for f in active_flows for s in f.subflows}
+        graph = self.analysis.graph.subgraph(keep)
+        cliques = self._cliques_of(graph)
+        sub = Scenario(
+            self.analysis.scenario.network,
+            active_flows,
+            name=f"{self.analysis.scenario.name}-batch",
+            capacity=self.capacity,
+        )
+        return ContentionAnalysis(sub, graph=graph, cliques=cliques)
+
+    def _cliques_of(self, graph: Graph) -> List[Clique]:
+        """Maximal cliques of ``graph`` via the per-component cache."""
+        cliques: List[Clique] = []
+        for comp in connected_components(graph):
+            key = frozenset(comp)
+            cached = self._component_cliques.get(key)
+            if cached is None:
+                incr("batch.component_misses")
+                cached = maximal_cliques(graph.induced_subgraph(comp))
+                self._component_cliques[key] = cached
+                while (len(self._component_cliques)
+                       > self.max_cached_components):
+                    self._component_cliques.popitem(last=False)
+            else:
+                incr("batch.component_hits")
+                self._component_cliques.move_to_end(key)
+            cliques.extend(cached)
+        rank = {v: i for i, v in enumerate(clique_vertex_order(graph))}
+        return sort_cliques(cliques, rank)

@@ -36,6 +36,7 @@ from ..core.contention import ContentionAnalysis
 from ..core.distributed import DistributedAllocator
 from ..core.model import Scenario
 from ..obs.registry import incr, phase_timer
+from ..perf.parallel import ParallelSweep
 from ..scenarios.io import scenario_to_dict
 from ..sim.rng import RngRegistry
 from ..verify.invariants import (
@@ -266,6 +267,54 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+def _chaos_case_task(
+    payload: Tuple[int, int, Tuple[float, ...], float, int, int, bool]
+) -> List[Tuple[float, CaseChecks, Dict[str, object], Dict[str, object]]]:
+    """One chaos case index across every loss rate (pool-friendly).
+
+    A pure function of its payload: the registry is rebuilt from the
+    seed, so the per-message fault draws are identical whether the case
+    runs in the parent or in a pool worker.
+    """
+    seed, index, rates, crash_prob, max_retries, max_rounds, \
+        inject_fault = payload
+    from ..verify.fuzzer import generate_scenario, inject_share_fault
+
+    fault = inject_share_fault if inject_fault else None
+    registry = RngRegistry(seed)
+    scenario = generate_scenario(registry, index)
+    analysis = ContentionAnalysis(scenario)
+    # The healing baseline is a fresh fault-free run *through the
+    # resilience stack*: plain 2PA-D local-LP shares plus the
+    # capacity governor — exactly what a lossless channel produces.
+    healed, _clamped = enforce_clique_capacity(
+        analysis,
+        DistributedAllocator(scenario, analysis=analysis).run().shares,
+        floors=global_basic_shares(analysis),
+    )
+    out: List[Tuple[float, CaseChecks, Dict[str, object],
+                    Dict[str, object]]] = []
+    for loss in rates:
+        plan = FaultPlan.draw(
+            registry.stream(("chaos", index, repr(loss))),
+            nodes=scenario.network.nodes,
+            loss=loss,
+            crash_prob=crash_prob,
+        )
+        case = run_chaos_case(
+            scenario, plan, registry,
+            prefix=("chaos", index, repr(loss), "channel"),
+            analysis=analysis,
+            healed_shares=healed,
+            max_retries=max_retries,
+            max_rounds=max_rounds,
+            fault=fault,
+        )
+        out.append((loss, case, scenario_to_dict(scenario),
+                    plan.to_dict()))
+    return out
+
+
 def run_chaos(
     cases: int = 25,
     seed: int = 0,
@@ -275,6 +324,7 @@ def run_chaos(
     max_rounds: int = 256,
     max_violations: int = 5,
     inject_fault: bool = False,
+    jobs: Optional[int] = 1,
 ) -> ChaosReport:
     """Sweep ``cases`` scenarios x ``loss_rates`` fault plans.
 
@@ -285,40 +335,24 @@ def run_chaos(
     allocation so a healthy harness must *fail* — used to prove the
     checkers bite (the report's ``ok`` stays False-on-violation
     semantics; callers invert it, as the verify CLI does).
-    """
-    from ..verify.fuzzer import generate_scenario, inject_share_fault
 
-    fault = inject_share_fault if inject_fault else None
+    ``jobs > 1`` fans the independent cases across a process pool
+    (:class:`~repro.perf.parallel.ParallelSweep`); results merge in
+    case order, so the report is identical at any job count — results
+    past the ``max_violations`` cut-off are discarded during
+    aggregation exactly as the serial sweep would never have computed
+    them.
+    """
     rates = tuple(float(r) for r in loss_rates)
     report = ChaosReport(cases=cases, seed=seed, loss_rates=rates)
-    for index in range(cases):
-        registry = RngRegistry(seed)
-        scenario = generate_scenario(registry, index)
-        analysis = ContentionAnalysis(scenario)
-        # The healing baseline is a fresh fault-free run *through the
-        # resilience stack*: plain 2PA-D local-LP shares plus the
-        # capacity governor — exactly what a lossless channel produces.
-        healed, _clamped = enforce_clique_capacity(
-            analysis,
-            DistributedAllocator(scenario, analysis=analysis).run().shares,
-            floors=global_basic_shares(analysis),
-        )
-        for loss in rates:
-            plan = FaultPlan.draw(
-                registry.stream(("chaos", index, repr(loss))),
-                nodes=scenario.network.nodes,
-                loss=loss,
-                crash_prob=crash_prob,
-            )
-            case = run_chaos_case(
-                scenario, plan, registry,
-                prefix=("chaos", index, repr(loss), "channel"),
-                analysis=analysis,
-                healed_shares=healed,
-                max_retries=max_retries,
-                max_rounds=max_rounds,
-                fault=fault,
-            )
+    tasks = [
+        (seed, index, rates, crash_prob, max_retries, max_rounds,
+         inject_fault)
+        for index in range(cases)
+    ]
+    results = ParallelSweep(jobs).map(_chaos_case_task, tasks)
+    for index, case_results in enumerate(results):
+        for loss, case, scenario_doc, plan_doc in case_results:
             incr("resilience.cases")
             report.tally(case)
             for name, details in case.failed_checks():
@@ -327,8 +361,8 @@ def run_chaos(
                     loss=loss,
                     check=name,
                     details=details,
-                    scenario=scenario_to_dict(scenario),
-                    fault_plan=plan.to_dict(),
+                    scenario=scenario_doc,
+                    fault_plan=plan_doc,
                 ))
             if len(report.violations) >= max_violations:
                 return report
@@ -389,6 +423,8 @@ def run_churn_case(
                              Dict[str, float]]] = None,
     crash_restore: bool = True,
     mode: Optional[str] = None,
+    sharded: bool = True,
+    jobs: Optional[int] = 1,
 ) -> ChurnCase:
     """One scenario through one churn timeline, checked end to end.
 
@@ -409,6 +445,10 @@ def run_churn_case(
       commits), restored from its last checkpoint, and resumed; its
       final state payload must be *bitwise identical* to the
       uninterrupted run's.
+
+    ``sharded`` / ``jobs`` configure the runtime's component-sharded
+    centralized solver (``jobs`` sizes its process pool; results are
+    bitwise identical at any job count).
     """
     if mode is None:
         mode = "distributed" if (loss > 0.0 or crash_prob > 0.0) \
@@ -418,6 +458,7 @@ def run_churn_case(
         return RuntimeConfig(
             seed=seed, mode=mode, hysteresis=hysteresis, loss=loss,
             crash_prob=crash_prob, stream_prefix=stream_prefix,
+            sharded=sharded, jobs=jobs,
             checkpoint_path=checkpoint_path,
         )
 
@@ -635,6 +676,7 @@ def run_churn(
     max_violations: int = 5,
     inject_fault: bool = False,
     crash_restore: bool = True,
+    jobs: Optional[int] = 1,
 ) -> ChurnReport:
     """Sweep ``cases`` seeded churn timelines x ``loss_rates``.
 
@@ -643,7 +685,9 @@ def run_churn(
     drawn from stream ``("churn", i)``, so a failing ``(seed, case)``
     pair reproduces from the command line alone.  ``inject_fault``
     perturbs every final allocation so a healthy harness must fail —
-    the self-test that proves the checkers bite.
+    the self-test that proves the checkers bite.  ``jobs`` sizes each
+    runtime's shard process pool (the per-case solve fan-out); shares
+    and reports are bitwise identical at any job count.
     """
     from ..verify.fuzzer import generate_scenario, inject_share_fault
 
@@ -669,6 +713,7 @@ def run_churn(
                 stream_prefix=("churn", index, repr(loss)),
                 fault=fault,
                 crash_restore=crash_restore,
+                jobs=jobs,
             )
             incr("runtime.cases")
             report.tally(case)

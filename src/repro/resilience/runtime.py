@@ -71,6 +71,7 @@ from ..obs.events import emit_event
 from ..obs.registry import incr, observe, phase_timer
 from ..obs.trace import span
 from ..perf.incremental import IncrementalContention
+from ..perf.shard import ShardedSolver
 from ..perf.warm import WarmLPCache
 from ..routing.dsr import DsrProtocol
 from ..scenarios.io import scenario_from_dict, scenario_to_dict
@@ -121,7 +122,18 @@ class RuntimeConfig:
 
     ``checkpoint_path`` is deliberately *not* serialized — it names a
     location in the current environment, and a restored runtime keeps
-    checkpointing to wherever it was restored from.
+    checkpointing to wherever it was restored from.  ``jobs`` is not
+    serialized either: it sizes the shard process pool of the machine
+    the runtime happens to run on, and the solved shares are bitwise
+    identical at every job count, so carrying it across restores would
+    only break payload equality between differently-parallel replicas.
+
+    ``sharded`` (default on) routes the centralized solve through the
+    component-sharded :class:`~repro.perf.shard.ShardedSolver` — per-
+    component memoization replaces the all-or-nothing global memo, and
+    dirty components can solve in parallel.  Turning it off restores
+    the monolithic solve, which the differential tests use as the
+    bitwise reference.
     """
 
     seed: int = 0
@@ -137,6 +149,8 @@ class RuntimeConfig:
     incremental: bool = True
     warm_lp: bool = True
     memo: bool = True
+    sharded: bool = True
+    jobs: Optional[int] = 1
     validate: bool = True
     stream_prefix: Tuple = ("runtime",)
     checkpoint_path: Optional[str] = None
@@ -169,6 +183,7 @@ class RuntimeConfig:
             "incremental": self.incremental,
             "warm_lp": self.warm_lp,
             "memo": self.memo,
+            "sharded": self.sharded,
             "validate": self.validate,
             "stream_prefix": list(self.stream_prefix),
         }
@@ -194,6 +209,7 @@ class RuntimeConfig:
             incremental=bool(doc.get("incremental", True)),
             warm_lp=bool(doc.get("warm_lp", True)),
             memo=bool(doc.get("memo", True)),
+            sharded=bool(doc.get("sharded", True)),
             validate=bool(doc.get("validate", True)),
             stream_prefix=tuple(doc.get("stream_prefix", ("runtime",))),
             checkpoint_path=checkpoint_path,
@@ -403,6 +419,19 @@ class AllocatorRuntime:
         self._warm = WarmLPCache() if self.config.warm_lp else None
         self._memo: Optional[Dict[Tuple[str, frozenset], Dict]] = (
             {} if self.config.memo else None
+        )
+        #: Component-sharded centralized solver (the pluggable backend
+        #: seam).  Its per-component memo replaces the global ``_memo``
+        #: on the centralized path; warm-basis reuse is skipped because
+        #: warm and cold solves are proven bitwise identical.
+        self._shard: Optional[ShardedSolver] = (
+            ShardedSolver(
+                backend="simplex",
+                jobs=self.config.jobs,
+                memo=self.config.memo,
+            )
+            if self.config.sharded and self.config.mode == "centralized"
+            else None
         )
         self._topo: Dict[Tuple[frozenset, frozenset], _TopologyState] = {}
         #: Per-topology clique-cache dumps carried across restore for
@@ -729,7 +758,25 @@ class AllocatorRuntime:
             memo_key = (topo.key_str, frozenset(ids))
             convergence: Dict[str, object] = {}
 
-            if memo_ok and memo_key in self._memo:
+            if self._shard is not None and self.config.mode == "centralized":
+                # Component-sharded path: the per-component memo keyed
+                # by structural fingerprint subsumes the global memo
+                # (an unchanged epoch is all reuse, no dirty solves).
+                with phase_timer("runtime.alloc.solve"):
+                    raw = self._shard.solve(analysis)
+                status = "converged"
+                stats = self._shard.last_stats
+                if stats.get("components", 0) and not stats.get("dirty", 0):
+                    # Fully memo-served epoch — the sharded analogue of
+                    # a global memo hit.
+                    incr("runtime.alloc.memo_hits")
+                solve_span.tag(
+                    path="sharded",
+                    components=int(stats.get("components", 0)),
+                    dirty=int(stats.get("dirty", 0)),
+                    reused=int(stats.get("reused", 0)),
+                )
+            elif memo_ok and memo_key in self._memo:
                 entry = self._memo[memo_key]
                 raw = dict(entry["shares"])
                 status = str(entry["status"])
@@ -940,6 +987,8 @@ class AllocatorRuntime:
                 "warm": (self._warm.dump_state()
                          if self._warm is not None else None),
                 "memo": memo,
+                "shard": (self._shard.dump_state()
+                          if self._shard is not None else None),
                 "cliques": cliques,
             },
             "contention_edges": self._current_edges(),
@@ -1007,6 +1056,8 @@ class AllocatorRuntime:
         caches = payload.get("caches", {})
         if rt._warm is not None and caches.get("warm"):
             rt._warm.load_state(caches["warm"])
+        if rt._shard is not None and caches.get("shard"):
+            rt._shard.load_state(caches["shard"])
         rt._clique_store = {
             str(k): list(v)
             for k, v in (caches.get("cliques") or {}).items()

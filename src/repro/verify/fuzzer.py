@@ -117,6 +117,7 @@ class VerificationSuite:
         faults: bool = False,
         churn: bool = False,
         backend: str = "simplex",
+        sharded: bool = False,
     ) -> None:
         self.brute_force_max_vertices = brute_force_max_vertices
         self.lp_tol = lp_tol
@@ -128,6 +129,13 @@ class VerificationSuite:
         #: Also run each case through the long-lived runtime under a
         #: seeded churn timeline — ``repro verify --churn``.
         self.churn = churn
+        #: Also run the component-sharded differential axis — the
+        #: :class:`~repro.perf.shard.ShardedSolver` at jobs=1 and jobs>1
+        #: against the monolithic LP, plus sharded-vs-monolithic
+        #: :class:`AllocatorRuntime` journals in centralized and
+        #: distributed-lossy modes — ``repro verify --sharded``.  Every
+        #: comparison is bitwise (``==`` on floats): sharding is exact.
+        self.sharded = sharded
         #: Float LP solver under test (``repro verify --backend``): every
         #: allocation the suite checks and the float side of the
         #: ``lp.float_vs_exact`` oracle run on this backend.
@@ -214,7 +222,96 @@ class VerificationSuite:
                     "2pad.vs_centralized", FAIL,
                     f"{type(exc).__name__}: {exc}",
                 ))
+
+        if self.sharded:
+            out.extend(self._sharded_checks(
+                scenario, analysis, dict(lp_alloc.shares)
+            ))
         return out
+
+    # ------------------------------------------------------------------
+    def _sharded_checks(
+        self,
+        scenario: Scenario,
+        analysis: ContentionAnalysis,
+        lp_shares: Dict[str, float],
+    ) -> List[CheckOutcome]:
+        """Differential checks of the component-sharded solve path.
+
+        The monolithic phase-1 LP allocation (``lp_shares``, before any
+        injected fault) is the bitwise reference: flows in different
+        components share no clique, so the sharded solve is exact and
+        every comparison here is plain ``==`` on floats, no tolerance.
+        The two runtime checks replay a short arrival/departure
+        timeline twice — ``sharded=True`` vs ``sharded=False`` — and
+        compare the committed journals, in centralized mode and in
+        distributed mode with 20% loss (where the shard seam must be
+        inert).
+        """
+        from ..perf.shard import ShardedSolver
+
+        out: List[CheckOutcome] = []
+        with phase_timer("verify.sharded"):
+            for name, jobs in (("sharded.vs_monolithic", 1),
+                               ("sharded.parallel_jobs", 2)):
+                try:
+                    shares = ShardedSolver(
+                        backend=self.backend, jobs=jobs
+                    ).solve(analysis)
+                    ok = shares == lp_shares
+                    details = "" if ok else "; ".join(
+                        f"{fid}: sharded {shares.get(fid)!r} != "
+                        f"monolithic {lp_shares.get(fid)!r}"
+                        for fid in sorted(set(shares) | set(lp_shares))
+                        if shares.get(fid) != lp_shares.get(fid)
+                    )[:400]
+                except Exception as exc:
+                    ok = False
+                    details = f"{type(exc).__name__}: {exc}"
+                out.append(CheckOutcome(name, PASS if ok else FAIL,
+                                        details))
+            out.append(self._sharded_runtime_check(
+                "sharded.runtime_centralized", scenario,
+                mode="centralized", loss=0.0,
+            ))
+            out.append(self._sharded_runtime_check(
+                "sharded.runtime_distributed", scenario,
+                mode="distributed", loss=0.2,
+            ))
+        return out
+
+    def _sharded_runtime_check(
+        self,
+        name: str,
+        scenario: Scenario,
+        mode: str,
+        loss: float,
+    ) -> CheckOutcome:
+        """One sharded-vs-monolithic runtime journal differential."""
+        from ..resilience.runtime import AllocatorRuntime, RuntimeConfig
+
+        def journal(sharded: bool):
+            rt = AllocatorRuntime(scenario, RuntimeConfig(
+                mode=mode, loss=loss, sharded=sharded,
+            ))
+            ids = [f.flow_id for f in scenario.flows]
+            rt.set_active(ids)        # everything arrives
+            rt.set_active(ids[1:])    # one departure dirties a component
+            rt.set_active(ids)        # re-arrival: memo must still agree
+            return [
+                (r.epoch, r.status, tuple(r.active), r.shares)
+                for r in rt.journal
+            ]
+
+        try:
+            sharded_j, mono_j = journal(True), journal(False)
+            ok = sharded_j == mono_j
+            details = ("" if ok
+                       else "sharded runtime journal != monolithic")
+        except Exception as exc:
+            ok = False
+            details = f"{type(exc).__name__}: {exc}"
+        return CheckOutcome(name, PASS if ok else FAIL, details)
 
     # ------------------------------------------------------------------
     def run_lp_checks(self, scenario: Scenario) -> List[CheckOutcome]:
@@ -530,6 +627,7 @@ class FuzzReport:
     seed: int
     inject_fault: bool
     backend: str = "simplex"
+    sharded: bool = False
     checks: Dict[str, Dict[str, int]] = field(default_factory=dict)
     failures: List[FuzzFailure] = field(default_factory=list)
 
@@ -554,6 +652,7 @@ class FuzzReport:
             "seed": self.seed,
             "inject_fault": self.inject_fault,
             "backend": self.backend,
+            "sharded": self.sharded,
             "ok": self.ok,
             "checks": {k: dict(v) for k, v in sorted(self.checks.items())},
             "failures": [f.to_dict() for f in self.failures],
@@ -564,6 +663,7 @@ class FuzzReport:
             f"repro verify: {self.cases} case(s), seed {self.seed}"
             + (f" [backend {self.backend}]"
                if self.backend != "simplex" else "")
+            + (" [sharded]" if self.sharded else "")
             + (" [fault injected]" if self.inject_fault else ""),
             "",
             f"  {'check':<34} {'pass':>6} {'fail':>6} {'skip':>6}",
@@ -727,6 +827,7 @@ def run_fuzz(
     faults: bool = False,
     churn: bool = False,
     backend: str = "simplex",
+    sharded: bool = False,
 ) -> FuzzReport:
     """Run ``cases`` seeded scenarios through the verification suite.
 
@@ -758,6 +859,13 @@ def run_fuzz(
     ``backend`` selects the float LP solver under test (``"simplex"``
     or ``"revised"``); reproducers record it so a failure found on one
     backend is replayed against the same backend.
+
+    ``sharded=True`` additionally runs the component-sharded
+    differential axis per case — :class:`~repro.perf.shard.ShardedSolver`
+    at jobs=1 and jobs=2 against the monolithic LP allocation, and
+    sharded-vs-monolithic runtime journals in centralized and
+    distributed-lossy modes — asserting bitwise identity throughout
+    (``sharded.*`` checks).
     """
     fault = inject_share_fault if inject_fault else None
     suite = VerificationSuite(
@@ -767,9 +875,10 @@ def run_fuzz(
         faults=faults,
         churn=churn,
         backend=backend,
+        sharded=sharded,
     )
     report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault,
-                        backend=backend)
+                        backend=backend, sharded=sharded)
 
     if jobs == 1:
         results = (

@@ -209,6 +209,47 @@ class TestCrashRestoreDifferential:
         with pytest.raises(CheckpointCorruptError, match="scenario"):
             AllocatorRuntime.restore(path, scenario=fig4.make_scenario())
 
+    def test_warm_restore_keeps_shard_cache_bitwise_identical(
+        self, tmp_path
+    ):
+        """The per-component shard memo rides the checkpoint: a restored
+        runtime reuses every cached component (no dirty re-solves in the
+        same interpreter) and replays to a payload byte-equal to the
+        uninterrupted runtime's."""
+        scenario = fig4.make_scenario()
+        path = str(tmp_path / "fig4.ckpt.json")
+        runtime = AllocatorRuntime(
+            scenario, RuntimeConfig(checkpoint_path=path)
+        )
+        runtime.set_active(scenario.flow_ids)
+        runtime.set_active(scenario.flow_ids[1:])
+        dump = runtime._shard.dump_state()
+        assert dump  # the solves populated the per-component memo
+
+        restored = AllocatorRuntime.restore(path, scenario=scenario)
+        assert restored._shard.dump_state() == dump
+        again_restored = restored.set_active(scenario.flow_ids[1:])
+        again_original = runtime.set_active(scenario.flow_ids[1:])
+        assert again_restored == again_original
+        assert restored._shard.last_stats["dirty"] == 0
+        assert restored._shard.dump_state() == runtime._shard.dump_state()
+        assert _canonical(restored) == _canonical(runtime)
+
+    def test_monolithic_runtime_checkpoints_without_shard_cache(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "mono.ckpt.json")
+        runtime = AllocatorRuntime(
+            fig1.make_scenario(),
+            RuntimeConfig(sharded=False, checkpoint_path=path),
+        )
+        runtime.set_active(["1", "2"])
+        assert runtime.state_payload()["caches"]["shard"] is None
+        restored = AllocatorRuntime.restore(path)
+        assert restored._shard is None
+        assert restored.config.sharded is False
+        assert _canonical(restored) == _canonical(runtime)
+
     def test_restored_runtime_keeps_checkpointing_in_place(self, tmp_path):
         """A restored runtime inherits the checkpoint location it was
         restored from, so the crash/restore cycle can repeat."""

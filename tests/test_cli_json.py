@@ -141,7 +141,7 @@ class TestVerifyCli:
         assert doc["seed"] == 0
         assert doc["config"] == {"cases": 5, "inject_fault": False,
                                  "faults": False, "churn": False,
-                                 "backend": "simplex"}
+                                 "backend": "simplex", "sharded": False}
         assert doc["results"]["ok"] is True
         assert doc["results"]["failures"] == []
         counters = doc["metrics"]["counters"]
@@ -192,6 +192,7 @@ class TestChurnCli:
         assert doc["config"] == {
             "cases": 2, "loss_rates": [0.0, 0.2], "epochs": 5,
             "crash_prob": 0.0, "hysteresis": 0.3, "inject_fault": False,
+            "jobs": 1,
         }
         results = doc["results"]
         assert results["ok"] is True

@@ -1,8 +1,17 @@
-"""Tests for connected components and BFS utilities."""
+"""Tests for connected components and BFS utilities.
+
+The property-based half (hypothesis) pins down the guarantees the
+component-sharded allocation engine builds on: components partition the
+vertex set, the partition is invariant under insertion order, and the
+union of per-component maximal cliques is exactly the global clique set
+— the structural fact that makes sharding the Prop. 2 LP *exact*.
+"""
 
 import networkx as nx
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graphs import (
     Graph,
@@ -11,6 +20,7 @@ from repro.graphs import (
     bfs_shortest_path,
     connected_components,
     is_connected,
+    maximal_cliques,
     to_networkx,
 )
 
@@ -39,6 +49,71 @@ class TestComponents:
         g = two_islands()
         assert bfs_reachable(g, "a") == {"a", "b", "c"}
         assert bfs_reachable(g, "lone") == {"lone"}
+
+
+@st.composite
+def vertices_and_edges(draw):
+    """A small random undirected graph as (vertices, edges)."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    vertices = list(range(n))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=30,
+    ))
+    edges = [(a, b) for a, b in pairs if a != b]
+    return vertices, edges
+
+
+def _build(vertices, edges):
+    return Graph.from_edges(edges, vertices=vertices)
+
+
+class TestComponentProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(vertices_and_edges())
+    def test_components_partition_the_vertex_set(self, graph_spec):
+        vertices, edges = graph_spec
+        comps = connected_components(_build(vertices, edges))
+        flat = [v for comp in comps for v in comp]
+        assert len(flat) == len(set(flat))  # pairwise disjoint
+        assert set(flat) == set(vertices)   # covering
+        comp_of = {v: i for i, comp in enumerate(comps) for v in comp}
+        for a, b in edges:                  # no edge crosses components
+            assert comp_of[a] == comp_of[b]
+
+    @settings(max_examples=60, deadline=None)
+    @given(vertices_and_edges(), st.randoms(use_true_random=False))
+    def test_partition_invariant_under_insertion_order(
+        self, graph_spec, rng
+    ):
+        vertices, edges = graph_spec
+        baseline = connected_components(_build(vertices, edges))
+        shuffled_v = list(vertices)
+        shuffled_e = list(edges)
+        rng.shuffle(shuffled_v)
+        rng.shuffle(shuffled_e)
+        permuted = connected_components(_build(shuffled_v, shuffled_e))
+        assert ({frozenset(c) for c in baseline}
+                == {frozenset(c) for c in permuted})
+        # Identical insertion order → identical component *list*.
+        assert connected_components(_build(vertices, edges)) == baseline
+
+    @settings(max_examples=60, deadline=None)
+    @given(vertices_and_edges())
+    def test_union_of_component_cliques_is_the_global_clique_set(
+        self, graph_spec
+    ):
+        """A maximal clique is connected, so it lives in exactly one
+        component — sharding clique enumeration loses nothing."""
+        vertices, edges = graph_spec
+        graph = _build(vertices, edges)
+        global_cliques = {frozenset(c) for c in maximal_cliques(graph)}
+        per_component = {
+            frozenset(c)
+            for comp in connected_components(graph)
+            for c in maximal_cliques(graph.subgraph(comp))
+        }
+        assert per_component == global_cliques
 
 
 class TestShortestPaths:

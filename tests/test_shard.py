@@ -1,0 +1,288 @@
+"""Tests for the component-sharded allocation engine (``perf/shard.py``).
+
+The contract under test is *bitwise* identity: the Prop. 2 LP
+factorizes exactly over connected components of the contention graph,
+so the sharded solve — per-component LPs, per-component memo, parallel
+fan-out — must reproduce the monolithic
+:func:`~repro.core.allocation.basic_fairness_lp_allocation` result to
+the last bit, on every library scenario, at any job count, from a cold
+or a warm (restored) cache.  Alongside the differentials: dirty
+tracking (churn touching one island re-solves only that island), memo
+dump/load round-trips, the batch admission API, and the runtime seam.
+"""
+
+import pytest
+
+from repro.core.allocation import (
+    basic_fairness_lp_allocation,
+    build_basic_fairness_lp,
+)
+from repro.core.contention import ContentionAnalysis
+from repro.core.model import Flow, Network, Scenario
+from repro.obs import registry as obs
+from repro.obs.registry import MetricsRegistry
+from repro.perf.shard import (
+    BatchAllocationEngine,
+    ShardedSolver,
+    component_problems,
+)
+from repro.resilience.admission import ADMIT, REASON_FLOOR
+from repro.resilience.runtime import AllocatorRuntime, RuntimeConfig
+
+from tests.test_lp_revised import LIBRARY
+
+#: fig3's shortcut topology has infeasible basic floors: the monolithic
+#: solve raises, and the sharded solve must raise the same way.
+INFEASIBLE = {"fig3_shortcut"}
+FEASIBLE = sorted(set(LIBRARY) - INFEASIBLE)
+
+
+def _chain(prefix, n):
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    links = [(nodes[i], nodes[i + 1]) for i in range(n - 1)]
+    return nodes, links
+
+
+def two_islands(weight_b=1.0):
+    """Two disjoint 4-hop chains: exactly two contention components."""
+    a_nodes, a_links = _chain("a", 5)
+    b_nodes, b_links = _chain("b", 5)
+    network = Network.from_links(a_nodes + b_nodes, a_links + b_links)
+    flows = [
+        Flow("A", tuple(a_nodes), 1.0),
+        Flow("B", tuple(b_nodes), weight_b),
+    ]
+    return Scenario(network, flows, name="two-islands")
+
+
+class TestLibraryDifferential:
+    @pytest.mark.parametrize("name", FEASIBLE)
+    def test_sharded_matches_monolithic_bitwise(self, name):
+        analysis = ContentionAnalysis(LIBRARY[name]())
+        reference = basic_fairness_lp_allocation(analysis).shares
+        for jobs in (1, 2):
+            shares = ShardedSolver(jobs=jobs).solve(analysis)
+            assert shares == reference  # bitwise, no tolerance
+
+    def test_infeasible_scenario_raises_like_monolithic(self):
+        analysis = ContentionAnalysis(LIBRARY["fig3_shortcut"]())
+        with pytest.raises(RuntimeError, match="basic-fairness LP"):
+            basic_fairness_lp_allocation(analysis)
+        with pytest.raises(RuntimeError, match="basic-fairness LP"):
+            ShardedSolver().solve(analysis)
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_component_lps_byte_identical_to_monolithic_builder(
+        self, name
+    ):
+        """The single-pass splitter reproduces ``build_basic_fairness_lp``
+        exactly: same variable order, objective, constraint coefficient
+        insertion order, bounds, labels, and lower bounds."""
+        scenario = LIBRARY[name]()
+        analysis = ContentionAnalysis(scenario)
+        problems = component_problems(analysis)
+        assert len(problems) == len(analysis.groups)
+        for problem, group in zip(problems, analysis.groups):
+            reference = build_basic_fairness_lp(
+                analysis, group, scenario.capacity
+            )
+            assert problem.lp.variables == reference.variables
+            assert problem.lp.objective == reference.objective
+            assert problem.lp.lower_bounds == reference.lower_bounds
+            assert [
+                (dict(c.coeffs), c.bound, c.label)
+                for c in problem.lp.constraints
+            ] == [
+                (dict(c.coeffs), c.bound, c.label)
+                for c in reference.constraints
+            ]
+            assert problem.group_ids == tuple(
+                f.flow_id for f in group
+            )
+
+
+class TestShardedSolverMemo:
+    def test_second_solve_reuses_every_component(self):
+        analysis = ContentionAnalysis(two_islands())
+        solver = ShardedSolver()
+        first = solver.solve(analysis)
+        assert solver.last_stats["components"] == 2
+        assert solver.last_stats["dirty"] == 2
+        second = solver.solve(analysis)
+        assert second == first
+        assert solver.last_stats["dirty"] == 0
+        assert solver.last_stats["reused"] == 2
+
+    def test_dirty_tracking_is_per_component(self):
+        """Churn touching island B re-solves B only; A is reused."""
+        solver = ShardedSolver()
+        solver.solve(ContentionAnalysis(two_islands()))
+        churned = ContentionAnalysis(two_islands(weight_b=2.0))
+        shares = solver.solve(churned)
+        assert solver.last_stats["dirty"] == 1
+        assert solver.last_stats["reused"] == 1
+        assert shares == basic_fairness_lp_allocation(churned).shares
+
+    def test_memo_disabled_always_solves(self):
+        analysis = ContentionAnalysis(two_islands())
+        solver = ShardedSolver(memo=False)
+        solver.solve(analysis)
+        solver.solve(analysis)
+        assert solver.last_stats["dirty"] == 2
+        assert solver.last_stats["reused"] == 0
+        assert solver.dump_state() is None
+
+    def test_lru_eviction_bounds_the_memo(self):
+        analysis = ContentionAnalysis(two_islands())
+        solver = ShardedSolver(max_entries=1)
+        solver.solve(analysis)
+        assert len(solver.dump_state()) == 1
+
+    def test_dump_load_round_trip_keeps_reuse_bitwise(self):
+        analysis = ContentionAnalysis(two_islands())
+        warm = ShardedSolver()
+        reference = warm.solve(analysis)
+        dump = warm.dump_state()
+        restored = ShardedSolver()
+        restored.load_state(dump)
+        shares = restored.solve(analysis)
+        assert shares == reference
+        # Same-process fingerprints are stable, so the restored cache
+        # hits on every component and its dump replays identically.
+        assert restored.last_stats["dirty"] == 0
+        assert restored.last_stats["reused"] == 2
+        assert restored.dump_state() == dump
+
+    def test_shard_counters_and_latency_observation(self):
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        try:
+            solver = ShardedSolver()
+            analysis = ContentionAnalysis(two_islands())
+            solver.solve(analysis)
+            solver.solve(analysis)
+        finally:
+            obs.set_registry(None)
+        snap = registry.snapshot()
+        assert snap["counters"]["runtime.shard.components"] == 4
+        assert snap["counters"]["runtime.shard.dirty"] == 2
+        assert snap["counters"]["runtime.shard.reused"] == 2
+        assert snap["histograms"]["runtime.shard.parallel_ms"]["count"] == 2
+
+
+class TestBatchAllocationEngine:
+    def test_unknown_flow_raises(self):
+        engine = BatchAllocationEngine(ContentionAnalysis(two_islands()))
+        with pytest.raises(KeyError, match="unknown flows"):
+            engine.register(["A", "nope"])
+
+    def test_register_allocate_release_matches_monolithic(self):
+        engine = BatchAllocationEngine(ContentionAnalysis(two_islands()))
+        decisions = engine.register(["A", "B"])
+        assert [d.action for d in decisions] == [ADMIT, ADMIT]
+        rates = engine.allocate()
+        assert rates == basic_fairness_lp_allocation(
+            engine.active_analysis()
+        ).shares
+        assert engine.rate_of("A") == rates["A"]
+        engine.release(["B"])
+        rates = engine.allocate()
+        assert set(rates) == {"A"}
+        # Island A's component was untouched by the release: reused.
+        assert engine.solver.last_stats["reused"] == 1
+        assert engine.solver.last_stats["dirty"] == 0
+        assert engine.rate_of("B") == 0.0
+
+    def test_duplicate_and_active_ids_are_skipped(self):
+        engine = BatchAllocationEngine(ContentionAnalysis(two_islands()))
+        engine.register(["A"])
+        decisions = engine.register(["A", "B", "B"])
+        assert [d.flow_id for d in decisions] == ["B"]
+
+    def test_infeasible_batch_falls_back_to_greedy_fifo(self):
+        """A shortcut link gives flow L a 4-subflow clique (> its
+        virtual length 3), so its basic floor is infeasible; the batch
+        probe over {L, S} fails, the greedy FIFO rejects L and admits
+        the 1-hop flow S, and the epoch still solves."""
+        nodes = ["a0", "a1", "a2", "a3", "a4"]
+        links = [("a0", "a1"), ("a1", "a2"), ("a2", "a3"),
+                 ("a3", "a4"), ("a0", "a4")]
+        scenario = Scenario(
+            Network.from_links(nodes, links),
+            [Flow("L", tuple(nodes), 1.0), Flow("S", ("a0", "a1"), 1.0)],
+            name="shortcut-batch",
+        )
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        try:
+            engine = BatchAllocationEngine(ContentionAnalysis(scenario))
+            decisions = engine.register(["L", "S"])
+        finally:
+            obs.set_registry(None)
+        verdicts = {d.flow_id: d for d in decisions}
+        assert verdicts["S"].action == ADMIT
+        assert verdicts["L"].action != ADMIT
+        assert verdicts["L"].reason == REASON_FLOOR
+        counters = registry.snapshot()["counters"]
+        assert counters["batch.register.greedy_fallbacks"] >= 1
+        rates = engine.allocate()  # the admitted subset is solvable
+        assert set(rates) == engine.active == {"S"}
+        assert rates == basic_fairness_lp_allocation(
+            engine.active_analysis()
+        ).shares
+
+    def test_admission_disabled_admits_everything(self):
+        scenario = LIBRARY["fig3_shortcut"]()
+        engine = BatchAllocationEngine(
+            ContentionAnalysis(scenario), admission=False
+        )
+        decisions = engine.register(scenario.flow_ids)
+        assert all(d.action == ADMIT for d in decisions)
+
+
+class TestRuntimeShardSeam:
+    @pytest.mark.parametrize("name", ["fig4", "parallel_chains", "grid"])
+    def test_runtime_sharded_vs_monolithic_journal(self, name):
+        """The seam's contract: identical committed journals with the
+        sharded backend on or off."""
+        scenario = LIBRARY[name]()
+        ids = [f.flow_id for f in scenario.flows]
+
+        def journal(sharded):
+            runtime = AllocatorRuntime(
+                scenario, RuntimeConfig(sharded=sharded)
+            )
+            runtime.set_active(ids)
+            runtime.set_active(ids[1:])
+            runtime.set_active(ids)
+            return [r.to_dict() for r in runtime.journal]
+
+        assert journal(True) == journal(False)
+
+    def test_churn_one_island_resolves_only_dirty_components(self):
+        runtime = AllocatorRuntime(
+            two_islands(), RuntimeConfig(admission=False)
+        )
+        runtime.set_active(["A", "B"])
+        assert runtime._shard.last_stats["dirty"] == 2
+        runtime.set_active(["A"])  # island B departs; A is untouched
+        assert runtime._shard.last_stats == {
+            **runtime._shard.last_stats,
+            "components": 1, "dirty": 0, "reused": 1,
+        }
+
+    def test_unchanged_epoch_counts_as_memo_hit(self):
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        try:
+            runtime = AllocatorRuntime(
+                two_islands(), RuntimeConfig(admission=False)
+            )
+            first = runtime.set_active(["A", "B"])
+            again = runtime.set_active(["A", "B"])
+        finally:
+            obs.set_registry(None)
+        assert again == first
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime.alloc.memo_hits"] >= 1
+        assert counters["runtime.shard.reused"] >= 2
