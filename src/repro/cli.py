@@ -186,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "monolithic LP, and sharded-vs-monolithic "
                         "runtime journals (centralized + distributed "
                         "lossy), all asserted bitwise identical")
+    p.add_argument("--overload", action="store_true",
+                   help="also run every case through the "
+                        "overload-protected runtime under an open-loop "
+                        "heavy-traffic arrival trace with forced "
+                        "deadline stalls and a seeded burst/worker-fault "
+                        "plan (failures shrink the trace, then the plan)")
     _add_obs_flags(p)
 
     p = sub.add_parser(
@@ -249,6 +255,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for each runtime's shard "
                         "pool (0 = all cores, default 1); shares and "
                         "reports are bitwise identical at any job count")
+    _add_obs_flags(p)
+
+    p = sub.add_parser(
+        "overload",
+        help="overload campaign: open-loop heavy traffic at a multiple "
+             "of the measured sustainable rate through the "
+             "deadline-watchdogged, load-shedding runtime",
+    )
+    p.add_argument("--cases", type=int, default=5,
+                   help="number of random scenarios (default 5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for scenario + trace streams "
+                        "(default 0)")
+    p.add_argument("--epochs", type=int, default=12,
+                   help="epochs per arrival trace (default 12)")
+    p.add_argument("--multiplier", type=float, default=2.0,
+                   help="offered load as a multiple of the measured "
+                        "sustainable arrival rate (default 2)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="epoch solve budget in milliseconds; breaching "
+                        "it commits the last validated allocation and "
+                        "escalates the shedding ladder (default: no "
+                        "wall-clock deadline)")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="admission queue depth bound (default 32)")
+    p.add_argument("--queue-age", type=int, default=8,
+                   help="epochs a flow may wait before age eviction "
+                        "(default 8)")
+    p.add_argument("--stall-epochs", type=int, default=0,
+                   help="force this many initial epochs to breach their "
+                        "deadline (deterministic ladder exercise, "
+                        "default 0)")
+    p.add_argument("--worker-crash", action="store_true",
+                   help="inject one sharded-solve worker crash per case "
+                        "(meaningful with --jobs > 1); shares must stay "
+                        "bitwise identical via retry + serial fallback")
+    p.add_argument("--hysteresis", type=float, default=0.3,
+                   help="max fractional per-epoch change of a flow's "
+                        "allocation; 0 disables damping (default 0.3)")
+    p.add_argument("--inject-fault", action="store_true",
+                   help="perturb the final allocation AND force "
+                        "deadline stalls; the run then passes only if "
+                        "the watchdog demonstrably bit (breaches "
+                        "recorded) and the campaign stayed clean")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for each runtime's shard "
+                        "pool (0 = all cores, default 1)")
     _add_obs_flags(p)
 
     p = sub.add_parser("show", help="render a scenario and its analysis")
@@ -538,6 +591,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 faults=args.faults,
                 churn=args.churn,
                 sharded=args.sharded,
+                overload=args.overload,
             )
             reports.append(report)
             return report.render(), "random-fuzz", report.to_dict()
@@ -546,7 +600,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args, "verify", args.seed,
             {"cases": args.cases, "inject_fault": args.inject_fault,
              "faults": args.faults, "churn": args.churn,
-             "backend": args.backend, "sharded": args.sharded},
+             "backend": args.backend, "sharded": args.sharded,
+             "overload": args.overload},
             verify_payload,
         )
         if code != 0:
@@ -631,6 +686,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         # is healthy only if the safety checkers caught something.
         return (0 if not ok else 1) if args.inject_fault else (0 if ok
                                                                else 1)
+    if args.command == "overload":
+        from .resilience import run_overload
+
+        overload_reports: List[object] = []
+        overload_hyst = args.hysteresis if args.hysteresis > 0.0 else None
+
+        def overload_payload(tracer: Tracer) -> _Payload:
+            report = run_overload(
+                cases=args.cases,
+                seed=args.seed,
+                epochs=args.epochs,
+                multiplier=args.multiplier,
+                deadline_ms=args.deadline_ms,
+                hysteresis=overload_hyst,
+                max_queue=args.max_queue,
+                max_queue_age=args.queue_age,
+                stall_epochs=args.stall_epochs,
+                worker_crash=args.worker_crash,
+                jobs=args.jobs,
+                inject_fault=args.inject_fault,
+            )
+            overload_reports.append(report)
+            return report.render(), "random-overload", report.to_dict()
+
+        code = _run_observed(
+            args, "overload", args.seed,
+            {"cases": args.cases, "epochs": args.epochs,
+             "multiplier": args.multiplier,
+             "deadline_ms": args.deadline_ms,
+             "max_queue": args.max_queue, "queue_age": args.queue_age,
+             "stall_epochs": args.stall_epochs,
+             "worker_crash": args.worker_crash,
+             "inject_fault": args.inject_fault, "jobs": args.jobs},
+            overload_payload,
+        )
+        if code != 0:
+            return code
+        if not overload_reports:
+            return 1
+        report = overload_reports[0]
+        if args.inject_fault:
+            # The chaos/churn inversion plus a watchdog proof: healthy
+            # only if the checkers caught the perturbed allocation AND
+            # the forced stalls produced recorded deadline breaches.
+            return 0 if (not report.ok and report.breaches > 0) else 1
+        return 0 if report.ok else 1
     if args.command == "show":
         from .experiments import (
             render_allocation_comparison,

@@ -57,19 +57,40 @@ from ..graphs import Graph, connected_components
 from ..graphs.cliques import clique_vertex_order, maximal_cliques, sort_cliques
 from ..lp import LinearProgram, lexicographic_maxmin
 from ..obs.registry import incr, observe, phase_timer
-from ..obs.trace import span
+from ..obs.trace import current_span_id, span
 from .parallel import ParallelSweep
 from .warm import WarmLPCache
 
 __all__ = [
     "BatchAllocationEngine",
     "ComponentProblem",
+    "ShardResultError",
     "ShardedSolver",
     "component_fingerprint",
     "component_problems",
 ]
 
 Clique = FrozenSet[SubflowId]
+
+
+class ShardResultError(RuntimeError):
+    """A component solve failed inside the sharded path.
+
+    Subclasses ``RuntimeError`` so callers matching the monolithic
+    solver's failure mode keep working; adds the failing component id
+    and the ``runtime.shard`` span id for trace correlation.  Custom
+    ``__reduce__`` keeps the extra fields across the pool's pickle
+    round-trip.
+    """
+
+    def __init__(self, message: str, component: Optional[int] = None,
+                 span_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.component = component
+        self.span_id = span_id
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.component, self.span_id))
 
 
 @dataclass
@@ -196,9 +217,10 @@ def _solve_component_with(
         backend=backend,
     )
     if not sol.is_optimal:
-        raise RuntimeError(
+        raise ShardResultError(
             f"basic-fairness LP unexpectedly {sol.status}:\n"
-            f"{problem.lp.pretty()}"
+            f"{problem.lp.pretty()}",
+            component=problem.index,
         )
     return {fid: sol[f"r_{fid}"] for fid in problem.group_ids}
 
@@ -206,6 +228,31 @@ def _solve_component_with(
 def _solve_component(problem: ComponentProblem) -> Dict[str, float]:
     """Module-level, picklable pool-worker entry (cold solve)."""
     return _solve_component_with(problem, problem.backend)
+
+
+def _solve_component_guarded(payload) -> Dict[str, float]:
+    """Pool entry for fault-injected runs: ``(problem, spec | None)``.
+
+    The spec (a :class:`~repro.resilience.faults.WorkerFaultSpec`, duck
+    typed to avoid an import cycle) misbehaves *inside the worker* —
+    crash or stall — before the real solve runs; the solve itself is
+    untouched, so results are unchanged whenever the task survives.
+    """
+    problem, spec = payload
+    if spec is not None:
+        spec.apply()
+    return _solve_component(problem)
+
+
+def _solve_component_unguarded(payload) -> Dict[str, float]:
+    """In-process fallback twin of the guarded entry: no fault shim.
+
+    Worker faults model a bad *worker environment*, so the deterministic
+    serial fallback solves the same problem cleanly — result identity
+    under faults hinges on this asymmetry.
+    """
+    problem, _spec = payload
+    return _solve_component(problem)
 
 
 class ShardedSolver:
@@ -231,9 +278,23 @@ class ShardedSolver:
         memo: bool = True,
         max_entries: int = 65536,
         warm: bool = True,
+        task_timeout: Optional[float] = None,
+        task_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        fault_injector=None,
     ) -> None:
         self.backend = backend
         self.jobs = jobs
+        # Fault-tolerance knobs: any of these selects the guarded sweep
+        # path (crash detection, stall timeout, bounded retry, serial
+        # fallback).  ``fault_injector`` is a
+        # :class:`~repro.resilience.faults.WorkerFaultInjector` (duck
+        # typed: anything with ``spec_for(position, total)``) used by
+        # chaos campaigns to make workers misbehave on purpose.
+        self.task_timeout = task_timeout
+        self.task_retries = int(task_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.fault_injector = fault_injector
         self.max_entries = int(max_entries)
         self._memo: Optional["OrderedDict[str, Dict[str, float]]"] = (
             OrderedDict() if memo else None
@@ -270,17 +331,55 @@ class ShardedSolver:
                     dirty.append(p)
             t0 = time.perf_counter()
             if dirty:
-                sweep = ParallelSweep(self.jobs)
-                if (self._warm is not None
-                        and (sweep.jobs <= 1 or len(dirty) <= 1)):
-                    # The sweep would run serial anyway: solve in-process
-                    # with warm-started bases instead of cold.
-                    solved = [
-                        _solve_component_with(p, self._warm.solver)
-                        for p in dirty
-                    ]
-                else:
-                    solved = sweep.map(_solve_component, dirty)
+                guarded = (self.task_timeout is not None
+                           or self.task_retries > 0
+                           or self.fault_injector is not None)
+                sweep = ParallelSweep(
+                    self.jobs,
+                    task_timeout=self.task_timeout,
+                    task_retries=self.task_retries,
+                    retry_backoff_s=self.retry_backoff_s,
+                )
+                try:
+                    if (self._warm is not None
+                            and (sweep.jobs <= 1 or len(dirty) <= 1)):
+                        # The sweep would run serial anyway: solve
+                        # in-process with warm-started bases instead of
+                        # cold (worker faults can't reach in-process
+                        # solves, so the injector is moot here).
+                        solved = [
+                            _solve_component_with(p, self._warm.solver)
+                            for p in dirty
+                        ]
+                    elif guarded:
+                        injector = self.fault_injector
+                        payloads = [
+                            (p,
+                             injector.spec_for(pos, len(dirty))
+                             if injector is not None else None)
+                            for pos, p in enumerate(dirty)
+                        ]
+                        solved = sweep.map(
+                            _solve_component_guarded, payloads,
+                            serial_fn=_solve_component_unguarded,
+                        )
+                    else:
+                        solved = sweep.map(_solve_component, dirty)
+                except ShardResultError as exc:
+                    incr("runtime.shard.worker_errors")
+                    if exc.span_id is None:
+                        exc.span_id = current_span_id()
+                    raise
+                except Exception as exc:
+                    # Never let a bare worker exception escape the
+                    # sharded path: wrap it with the span id so the
+                    # failure correlates with the trace.
+                    incr("runtime.shard.worker_errors")
+                    raise ShardResultError(
+                        f"sharded component solve failed: "
+                        f"{type(exc).__name__}: {exc}",
+                        span_id=current_span_id(),
+                    ) from exc
             else:
                 solved = []
             parallel_ms = (time.perf_counter() - t0) * 1e3

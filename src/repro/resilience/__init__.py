@@ -70,13 +70,25 @@ from .degrade import (
 )
 from .epochs import ChurnEvent, ChurnTimeline
 from .faults import (
+    ArrivalBurst,
     FaultInjector,
     FaultPlan,
     LinkFaults,
     LinkFlap,
     NodeCrash,
+    WorkerCrash,
+    WorkerFaultInjector,
+    WorkerFaultSpec,
+    WorkerHang,
 )
 from .runtime import AllocatorRuntime, EpochRecord, RuntimeConfig
+from .overload import (
+    EpochDeadline,
+    EpochDeadlineExceeded,
+    OverloadConfig,
+    OverloadRuntime,
+    RUNG_NAMES,
+)
 from .campaign import (
     CaseChecks,
     ChaosReport,
@@ -84,10 +96,16 @@ from .campaign import (
     ChurnCase,
     ChurnReport,
     ChurnViolation,
+    OverloadCase,
+    OverloadReport,
+    OverloadViolation,
+    measure_sustainable_rate,
     run_chaos,
     run_chaos_case,
     run_churn,
     run_churn_case,
+    run_overload,
+    run_overload_case,
 )
 
 __all__ = [
@@ -115,14 +133,24 @@ __all__ = [
     "global_basic_shares",
     "ChurnEvent",
     "ChurnTimeline",
+    "ArrivalBurst",
     "FaultInjector",
     "FaultPlan",
     "LinkFaults",
     "LinkFlap",
     "NodeCrash",
+    "WorkerCrash",
+    "WorkerFaultInjector",
+    "WorkerFaultSpec",
+    "WorkerHang",
     "AllocatorRuntime",
     "EpochRecord",
     "RuntimeConfig",
+    "EpochDeadline",
+    "EpochDeadlineExceeded",
+    "OverloadConfig",
+    "OverloadRuntime",
+    "RUNG_NAMES",
     "CaseChecks",
     "ChaosReport",
     "ChaosViolation",
@@ -133,4 +161,10 @@ __all__ = [
     "run_chaos_case",
     "run_churn",
     "run_churn_case",
+    "OverloadCase",
+    "OverloadReport",
+    "OverloadViolation",
+    "measure_sustainable_rate",
+    "run_overload",
+    "run_overload_case",
 ]

@@ -44,6 +44,8 @@ REASON_FLOOR = "basic-floor-infeasible"
 REASON_UNROUTABLE = "unroutable"
 REASON_ENDPOINT_DOWN = "endpoint-down"
 REASON_QUEUE_FULL = "queue-full"
+REASON_QUEUE_AGED = "queue-aged"
+REASON_OVERLOAD = "overload-shed"
 
 #: Same tolerance the Eq. (6) checker applies, so admission never
 #: rejects a candidate whose floor allocation the checker would accept.
@@ -103,11 +105,20 @@ class AdmissionController:
 
     ``queue_rejected=False`` turns every non-admit into a hard reject —
     the mode for callers that have no later epoch to retry in.
+
+    The queue is doubly bounded: ``max_queue`` caps its depth (overflow
+    becomes a ``REASON_QUEUE_FULL`` reject) and ``max_queue_age``, when
+    set, caps how many epochs a flow may wait before :meth:`evict_aged`
+    turns it into a ``REASON_QUEUE_AGED`` reject — the overload ladder's
+    first shedding rung.  Both bounds survive checkpoints: the queue and
+    its timestamps are in :meth:`snapshot`, the limits in the runtime
+    config.
     """
 
     enabled: bool = True
     queue_rejected: bool = True
     max_queue: int = 32
+    max_queue_age: Optional[int] = None
     waiting: Deque[str] = field(default_factory=deque)
     decisions: List[AdmissionDecision] = field(default_factory=list)
     #: Epoch each waiting flow was queued at — the basis of the
@@ -148,6 +159,37 @@ class AdmissionController:
         self.decisions.append(decision)
         incr(f"admission.{ADMIT}")
         return decision
+
+    def evict_aged(self, epoch: int,
+                   max_age: Optional[int] = None) -> List[AdmissionDecision]:
+        """Reject every waiting flow older than the age bound.
+
+        ``max_age`` overrides :attr:`max_queue_age` (the overload ladder
+        tightens the bound under pressure); with neither set this is a
+        no-op, which keeps default runs byte-identical.  A flow queued
+        at epoch ``e`` has age ``epoch - e``; eviction fires strictly
+        above the bound, so ``max_age=0`` allows exactly one retry
+        epoch.  Evictions are logged as ``REASON_QUEUE_AGED`` rejects
+        and counted under ``admission.evicted``.
+        """
+        limit = max_age if max_age is not None else self.max_queue_age
+        if limit is None:
+            return []
+        evicted: List[AdmissionDecision] = []
+        for fid in list(self.waiting):
+            age = max(0, epoch - self.queued_epoch.get(fid, epoch))
+            if age > limit:
+                self.waiting.remove(fid)
+                self.queued_epoch.pop(fid, None)
+                decision = AdmissionDecision(
+                    fid, epoch, REJECT, REASON_QUEUE_AGED,
+                    f"waited {age} epochs (limit {limit})",
+                )
+                self.decisions.append(decision)
+                incr(f"admission.{REJECT}")
+                incr("admission.evicted")
+                evicted.append(decision)
+        return evicted
 
     def drop_waiting(self, flow_id: str) -> None:
         """Forget a queued flow (it departed before ever being admitted)."""

@@ -49,9 +49,20 @@ from .degrade import (
     enforce_clique_capacity,
     global_basic_shares,
 )
+from ..traffic.openloop import (
+    ArrivalTrace,
+    OpenLoopConfig,
+    draw_arrival_trace,
+)
 from .admission import ADMIT, REASON_OK
 from .epochs import ChurnTimeline
-from .faults import FaultInjector, FaultPlan
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    WorkerCrash,
+    WorkerFaultInjector,
+)
+from .overload import OverloadConfig, OverloadRuntime
 from .runtime import AllocatorRuntime, RuntimeConfig
 
 __all__ = [
@@ -61,10 +72,16 @@ __all__ = [
     "ChurnCase",
     "ChurnViolation",
     "ChurnReport",
+    "OverloadCase",
+    "OverloadViolation",
+    "OverloadReport",
     "run_chaos_case",
     "run_chaos",
     "run_churn_case",
     "run_churn",
+    "measure_sustainable_rate",
+    "run_overload_case",
+    "run_overload",
 ]
 
 DEFAULT_LOSS_RATES = (0.0, 0.1, 0.3)
@@ -376,8 +393,8 @@ def run_chaos(
 #: Per-epoch solver statuses from most to least healthy; a case reports
 #: the worst status any of its committed epochs produced.
 _EPOCH_SEVERITY = (
-    "empty", "converged", "converged-partial", "timed-out",
-    "fallback-basic",
+    "empty", "converged", "converged-partial", "deadline-breach",
+    "overload-clamp", "timed-out", "fallback-basic",
 )
 
 
@@ -728,4 +745,470 @@ def run_churn(
                 ))
             if len(report.violations) >= max_violations:
                 return report
+    return report
+
+
+# ----------------------------------------------------------------------
+# Overload campaigns: open-loop heavy traffic against the protected runtime
+# ----------------------------------------------------------------------
+
+#: Geometric arrival-rate ladder probed by
+#: :func:`measure_sustainable_rate` (flows per epoch).
+SUSTAINABLE_RATE_LADDER = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass
+class OverloadCase(CaseChecks):
+    """One overload case: :class:`CaseChecks` plus pressure aggregates."""
+
+    epochs_run: int = 0
+    epoch_statuses: Dict[str, int] = field(default_factory=dict)
+    admissions: Dict[str, int] = field(default_factory=dict)
+    breaches: int = 0
+    sheds: int = 0
+    rung_max: int = 0
+    max_queue_depth: int = 0
+    stale_age_max: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+
+
+def run_overload_case(
+    scenario: Scenario,
+    trace: "ArrivalTrace",
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    plan: Optional[FaultPlan] = None,
+    hysteresis: Optional[float] = None,
+    jobs: Optional[int] = 1,
+    max_queue: int = 32,
+    max_queue_age: Optional[int] = 8,
+    stall_epochs: int = 0,
+    fault: Optional[Callable[[Dict[str, float], float],
+                             Dict[str, float]]] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> OverloadCase:
+    """One scenario under one open-loop arrival trace, overload-protected.
+
+    The runtime (centralized, sharded) is wrapped in an
+    :class:`~repro.resilience.overload.OverloadRuntime` with the given
+    epoch ``deadline_ms`` and driven through ``trace``.  ``plan``
+    contributes adversarial :class:`~repro.resilience.faults.ArrivalBurst`
+    extras and — with ``jobs > 1`` — worker crash/hang faults injected
+    into the sharded solve (per-task timeout, bounded retries, serial
+    fallback).  ``stall_epochs > 0`` forces that many initial epochs to
+    run with an already-expired watchdog, the deterministic proof that
+    the breach machinery bites.
+
+    Seven properties are checked:
+
+    * ``overload.no_raise`` — the protected runtime survives the trace
+      (breaches are handled, never propagated);
+    * ``overload.epoch_checks`` — every *validated* epoch's recorded
+      Eq. (6) and basic-floor checks passed (breach epochs re-commit the
+      last validated allocation and record no new checks);
+    * ``overload.admission_reasoned`` — every non-admit decision
+      (rejects, queue-full, age evictions, overload sheds) carries a
+      machine-readable reason;
+    * ``overload.final_clique_capacity`` / ``overload.final_basic_floor``
+      — the final committed allocation re-checked from scratch (the
+      ``fault`` hook perturbs it first when the harness is under test);
+    * ``overload.queue_bounded`` — the admission queue never exceeded
+      its configured depth bound;
+    * ``overload.breach_recorded`` — the breach epochs in the runtime
+      journal and the staleness records pair up exactly (no breach
+      without a record, no record without a breach).
+    """
+    config = RuntimeConfig(
+        seed=seed, mode="centralized", hysteresis=hysteresis,
+        max_queue=max_queue, max_queue_age=max_queue_age,
+        jobs=jobs, stream_prefix=("overload",),
+    )
+    runtime = AllocatorRuntime(scenario, config)
+    if (plan is not None and plan.has_worker_faults
+            and runtime._shard is not None
+            and jobs is not None and jobs > 1):
+        # Arm the sharded solver's fault-tolerant path: the injected
+        # crashes/hangs are worker-environment faults, so the guarded
+        # sweep retries and ultimately falls back in-process — shares
+        # stay bitwise identical to the monolithic solve.
+        runtime._shard.fault_injector = WorkerFaultInjector.from_plan(plan)
+        runtime._shard.task_timeout = 1.0
+        runtime._shard.task_retries = 2
+    harness = OverloadRuntime(
+        runtime, OverloadConfig(deadline_ms=deadline_ms), clock=clock
+    )
+    if stall_epochs > 0:
+        harness.force_breach_epochs = set(range(1, stall_epochs + 1))
+
+    checks: List[Tuple[str, bool, str]] = []
+    try:
+        with phase_timer("runtime.overload.case"):
+            harness.run_trace(
+                trace, bursts=plan.bursts if plan is not None else ()
+            )
+    except Exception as exc:
+        incr("runtime.case_raised")
+        return OverloadCase(
+            status="raised",
+            checks=[("overload.no_raise", False,
+                     f"{type(exc).__name__}: {exc}")],
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    checks.append(("overload.no_raise", True, ""))
+
+    epoch_fails = [
+        f"epoch {r.epoch}: {name} ({details})"
+        for r in runtime.journal
+        for name, ok, details in r.checks if not ok
+    ]
+    checks.append(("overload.epoch_checks", not epoch_fails,
+                   "; ".join(epoch_fails[:3])))
+
+    unreasoned = sorted({
+        d.flow_id for d in runtime.admission.decisions
+        if d.action != ADMIT and (not d.reason or d.reason == REASON_OK)
+    })
+    checks.append((
+        "overload.admission_reasoned", not unreasoned,
+        "" if not unreasoned
+        else f"non-admit decisions without a reason: {unreasoned}",
+    ))
+
+    analysis = runtime.current_analysis()
+    shares = dict(runtime.shares)
+    if not shares:
+        # Finite flows may all have been served by the end of the
+        # trace; re-check the last non-empty committed allocation so
+        # the final invariants (and the ``fault`` self-test hook)
+        # always have something to bite on.  Overload traces carry no
+        # topology churn, so the current topology state is the one
+        # every epoch committed under.
+        for record in reversed(runtime.journal):
+            if record.shares:
+                topo = runtime._topology(runtime.down_links,
+                                         runtime.down_nodes)
+                analysis = topo.analysis_of(
+                    topo.ordered(set(record.active)),
+                    name=f"{scenario.name}-overload-final",
+                )
+                shares = dict(record.shares)
+                break
+    if fault is not None and shares:
+        shares = fault(shares, scenario.capacity)
+    res = check_clique_capacity(analysis, shares)
+    checks.append(("overload.final_clique_capacity", res.ok, res.details))
+    res = check_basic_fairness(analysis, shares)
+    checks.append(("overload.final_basic_floor", res.ok, res.details))
+
+    checks.append((
+        "overload.queue_bounded",
+        harness.max_queue_depth <= max_queue,
+        "" if harness.max_queue_depth <= max_queue
+        else f"queue depth {harness.max_queue_depth} exceeded bound "
+             f"{max_queue}",
+    ))
+
+    breach_epochs = {r.epoch for r in runtime.journal
+                     if r.status == "deadline-breach"}
+    record_epochs = {int(rec["epoch"]) for rec in harness.staleness_records}
+    checks.append((
+        "overload.breach_recorded",
+        breach_epochs == record_epochs,
+        "" if breach_epochs == record_epochs
+        else f"breach epochs {sorted(breach_epochs)} != staleness "
+             f"records {sorted(record_epochs)}",
+    ))
+
+    statuses: Dict[str, int] = {}
+    for record in runtime.journal:
+        statuses[record.status] = statuses.get(record.status, 0) + 1
+    admissions: Dict[str, int] = {}
+    sheds = 0
+    for decision in runtime.admission.decisions:
+        admissions[decision.action] = (
+            admissions.get(decision.action, 0) + 1
+        )
+        if decision.reason in ("queue-full", "queue-aged",
+                               "overload-shed"):
+            sheds += 1
+    stats = harness.stats()
+    return OverloadCase(
+        status=_worst_epoch_status([r.status for r in runtime.journal]),
+        checks=checks,
+        shares=dict(runtime.shares),
+        epochs_run=len(runtime.journal),
+        epoch_statuses=statuses,
+        admissions=admissions,
+        breaches=int(stats["breaches"]),
+        sheds=sheds,
+        rung_max=int(stats["rung_max"]),
+        max_queue_depth=int(stats["max_queue_depth"]),
+        stale_age_max=int(stats["stale_age_max"]),
+        latency_p50_ms=float(stats["latency_p50_ms"]),
+        latency_p99_ms=float(stats["latency_p99_ms"]),
+    )
+
+
+def measure_sustainable_rate(
+    scenario: Scenario,
+    registry: RngRegistry,
+    index: int,
+    epochs: int = 8,
+    rates: Sequence[float] = SUSTAINABLE_RATE_LADDER,
+    deadline_ms: Optional[float] = None,
+    max_queue: int = 32,
+    max_queue_age: Optional[int] = 8,
+    seed: int = 0,
+) -> float:
+    """Largest probed arrival rate the scenario sustains cleanly.
+
+    Walks the geometric ``rates`` ladder with short probe traces (each
+    drawn from its own ``("overload", index, "probe", rate)`` stream, so
+    the measurement is deterministic); a rate is *sustainable* when the
+    probe completes with zero rejects, zero sheds, an empty waiting
+    queue at the end, and zero deadline breaches.  Returns the largest
+    sustainable rate, or the bottom of the ladder when even that
+    overloads the scenario — the campaign then offers ``multiplier``
+    times this, which is over capacity by construction.
+    """
+    flow_ids = list(scenario.flow_ids)
+    best = float(rates[0])
+    for rate in rates:
+        trace = draw_arrival_trace(
+            registry.stream(("overload", index, "probe", repr(rate))),
+            flow_ids, epochs, OpenLoopConfig(rate=float(rate)),
+        )
+        probe = run_overload_case(
+            scenario, trace, seed=seed, deadline_ms=deadline_ms,
+            max_queue=max_queue, max_queue_age=max_queue_age,
+        )
+        rejects = probe.admissions.get("reject", 0)
+        queued = probe.admissions.get("queue", 0)
+        clean = (probe.ok and probe.breaches == 0 and rejects == 0
+                 and probe.sheds == 0 and queued == 0)
+        if clean:
+            best = float(rate)
+        else:
+            break
+    return best
+
+
+@dataclass
+class OverloadViolation:
+    """One overload-safety violation, with everything needed to replay."""
+
+    case: int
+    rate: float
+    check: str
+    details: str
+    scenario: Dict[str, object]
+    arrival_trace: Dict[str, object]
+    fault_plan: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "rate": self.rate,
+            "check": self.check,
+            "details": self.details,
+            "scenario": self.scenario,
+            "arrival_trace": self.arrival_trace,
+            "fault_plan": self.fault_plan,
+        }
+
+
+@dataclass
+class OverloadReport:
+    """Aggregate of one overload campaign, renderable and artifact-ready."""
+
+    cases: int
+    seed: int
+    epochs: int
+    multiplier: float
+    deadline_ms: Optional[float] = None
+    statuses: Dict[str, int] = field(default_factory=dict)
+    checks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    admissions: Dict[str, int] = field(default_factory=dict)
+    #: Per-case rows: sustainable rate, offered rate, breaches, p50/p99.
+    rates: List[Dict[str, float]] = field(default_factory=list)
+    epochs_run: int = 0
+    breaches: int = 0
+    sheds: int = 0
+    violations: List[OverloadViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def tally(self, case: OverloadCase) -> None:
+        for status, count in case.epoch_statuses.items():
+            self.statuses[status] = self.statuses.get(status, 0) + count
+        for action, count in case.admissions.items():
+            self.admissions[action] = (
+                self.admissions.get(action, 0) + count
+            )
+        self.epochs_run += case.epochs_run
+        self.breaches += case.breaches
+        self.sheds += case.sheds
+        for name, ok, _details in case.checks:
+            row = self.checks.setdefault(name, {"pass": 0, "fail": 0})
+            row["pass" if ok else "fail"] += 1
+            incr(f"resilience.{name}.{'pass' if ok else 'fail'}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cases": self.cases,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "multiplier": self.multiplier,
+            "deadline_ms": self.deadline_ms,
+            "ok": self.ok,
+            "statuses": dict(sorted(self.statuses.items())),
+            "checks": {k: dict(v) for k, v in sorted(self.checks.items())},
+            "admissions": dict(sorted(self.admissions.items())),
+            "rates": [dict(r) for r in self.rates],
+            "epochs_run": self.epochs_run,
+            "breaches": self.breaches,
+            "sheds": self.sheds,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"repro overload: {self.cases} case(s), {self.epochs} "
+            f"epoch(s), offered {self.multiplier:g}x sustainable, "
+            f"seed {self.seed}"
+            + (f", epoch deadline {self.deadline_ms:g} ms"
+               if self.deadline_ms is not None else ""),
+            "",
+            f"  {'case':>4} {'sustainable':>12} {'offered':>9} "
+            f"{'breaches':>9} {'p50 ms':>9} {'p99 ms':>9}",
+        ]
+        for i, row in enumerate(self.rates):
+            lines.append(
+                f"  {i:>4} {row['sustainable']:>12g} "
+                f"{row['offered']:>9g} {int(row['breaches']):>9} "
+                f"{row['latency_p50_ms']:>9.2f} "
+                f"{row['latency_p99_ms']:>9.2f}"
+            )
+        lines.append("")
+        lines.append(f"  {'epoch status':<28} {'epochs':>6}")
+        for status in sorted(self.statuses):
+            lines.append(f"  {status:<28} {self.statuses[status]:>6}")
+        lines.append(f"  {'total epochs committed':<28} "
+                     f"{self.epochs_run:>6}")
+        lines.append("")
+        lines.append(f"  {'admission action':<28} {'flows':>6}")
+        for action in sorted(self.admissions):
+            lines.append(
+                f"  {action:<28} {self.admissions[action]:>6}"
+            )
+        lines.append(f"  {'flows shed / evicted':<28} {self.sheds:>6}")
+        lines.append("")
+        lines.append(f"  {'safety check':<28} {'pass':>6} {'fail':>6}")
+        for name in sorted(self.checks):
+            row = self.checks[name]
+            lines.append(
+                f"  {name:<28} {row['pass']:>6} {row['fail']:>6}"
+            )
+        lines.append("")
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            for v in self.violations:
+                lines.append(
+                    f"  case {v.case} @ rate {v.rate:g}: {v.check}"
+                )
+                if v.details:
+                    lines.append(f"    {v.details}")
+        else:
+            lines.append("all overload safety invariants held")
+        return "\n".join(lines)
+
+
+def run_overload(
+    cases: int = 5,
+    seed: int = 0,
+    epochs: int = 12,
+    multiplier: float = 2.0,
+    deadline_ms: Optional[float] = None,
+    hysteresis: Optional[float] = 0.3,
+    max_queue: int = 32,
+    max_queue_age: Optional[int] = 8,
+    stall_epochs: int = 0,
+    worker_crash: bool = False,
+    jobs: Optional[int] = 1,
+    inject_fault: bool = False,
+    max_violations: int = 5,
+) -> OverloadReport:
+    """Sweep ``cases`` scenarios under ``multiplier`` x sustainable load.
+
+    Scenario ``i`` comes from the verification fuzzer's generator; its
+    sustainable arrival rate is measured with probe traces, then an
+    open-loop trace at ``multiplier`` times that rate (stream
+    ``("overload", i, "trace")``) drives the protected runtime.
+    ``stall_epochs`` forces that many initial deadline breaches per case
+    (exercising the shedding ladder deterministically); ``worker_crash``
+    arms one sharded-solve worker crash per case (meaningful with
+    ``jobs > 1``).  ``inject_fault`` both perturbs the final allocation
+    (the checkers must fail) and forces stalls, so a healthy harness
+    must report breaches — the ``--inject-fault`` CLI run passes only
+    when the watchdog demonstrably bit.
+    """
+    from ..verify.fuzzer import generate_scenario, inject_share_fault
+
+    fault = inject_share_fault if inject_fault else None
+    if inject_fault:
+        stall_epochs = max(stall_epochs, 3)
+    report = OverloadReport(
+        cases=cases, seed=seed, epochs=epochs,
+        multiplier=float(multiplier), deadline_ms=deadline_ms,
+    )
+    for index in range(cases):
+        registry = RngRegistry(seed)
+        scenario = generate_scenario(registry, index)
+        sustainable = measure_sustainable_rate(
+            scenario, registry, index,
+            deadline_ms=deadline_ms,
+            max_queue=max_queue, max_queue_age=max_queue_age,
+            seed=seed,
+        )
+        offered = float(multiplier) * sustainable
+        trace = draw_arrival_trace(
+            registry.stream(("overload", index, "trace")),
+            list(scenario.flow_ids), epochs,
+            OpenLoopConfig(rate=offered),
+        )
+        plan = (
+            FaultPlan(worker_crashes=(WorkerCrash(component=0,
+                                                  attempts=1),))
+            if worker_crash else None
+        )
+        case = run_overload_case(
+            scenario, trace, seed=seed, deadline_ms=deadline_ms,
+            plan=plan, hysteresis=hysteresis, jobs=jobs,
+            max_queue=max_queue, max_queue_age=max_queue_age,
+            stall_epochs=stall_epochs, fault=fault,
+        )
+        incr("runtime.overload.cases")
+        report.tally(case)
+        report.rates.append({
+            "sustainable": sustainable,
+            "offered": offered,
+            "breaches": float(case.breaches),
+            "latency_p50_ms": case.latency_p50_ms,
+            "latency_p99_ms": case.latency_p99_ms,
+        })
+        for name, details in case.failed_checks():
+            report.violations.append(OverloadViolation(
+                case=index,
+                rate=offered,
+                check=name,
+                details=details,
+                scenario=scenario_to_dict(scenario),
+                arrival_trace=trace.to_dict(),
+                fault_plan=plan.to_dict() if plan is not None else None,
+            ))
+        if len(report.violations) >= max_violations:
+            return report
     return report

@@ -82,6 +82,7 @@ from .admission import (
     REASON_ENDPOINT_DOWN,
     REASON_FLOOR,
     REASON_OK,
+    REASON_OVERLOAD,
     REASON_UNROUTABLE,
     AdmissionController,
     basic_share_feasible,
@@ -146,6 +147,9 @@ class RuntimeConfig:
     admission: bool = True
     queue_rejected: bool = True
     max_queue: int = 32
+    #: Epochs a flow may sit in the waiting queue before age-based
+    #: eviction (``None`` disables it — the historical behaviour).
+    max_queue_age: Optional[int] = None
     incremental: bool = True
     warm_lp: bool = True
     memo: bool = True
@@ -180,6 +184,7 @@ class RuntimeConfig:
             "admission": self.admission,
             "queue_rejected": self.queue_rejected,
             "max_queue": self.max_queue,
+            "max_queue_age": self.max_queue_age,
             "incremental": self.incremental,
             "warm_lp": self.warm_lp,
             "memo": self.memo,
@@ -206,6 +211,10 @@ class RuntimeConfig:
             admission=bool(doc.get("admission", True)),
             queue_rejected=bool(doc.get("queue_rejected", True)),
             max_queue=int(doc.get("max_queue", 32)),
+            max_queue_age=(
+                None if doc.get("max_queue_age") is None
+                else int(doc["max_queue_age"])
+            ),
             incremental=bool(doc.get("incremental", True)),
             warm_lp=bool(doc.get("warm_lp", True)),
             memo=bool(doc.get("memo", True)),
@@ -415,6 +424,7 @@ class AllocatorRuntime:
             enabled=True,
             queue_rejected=self.config.queue_rejected,
             max_queue=self.config.max_queue,
+            max_queue_age=self.config.max_queue_age,
         )
         self._warm = WarmLPCache() if self.config.warm_lp else None
         self._memo: Optional[Dict[Tuple[str, frozenset], Dict]] = (
@@ -445,6 +455,18 @@ class AllocatorRuntime:
         #: epoch)`` after the in-memory commit but before the checkpoint
         #: write.  Raising from it simulates a crash at that point.
         self.crash_hook: Optional[Callable[[str, int], None]] = None
+        #: Overload watchdog seam: called with a phase label at every
+        #: phase boundary and at every per-flow admission probe.  Pure
+        #: observation unless it raises (the overload layer raises
+        #: ``EpochDeadlineExceeded`` on budget breach — nothing is
+        #: committed then, per the :meth:`advance` contract).  Not
+        #: serialized: a restored runtime starts unwatched.
+        self.watchdog: Optional[Callable[[str], None]] = None
+
+    def _tick(self, point: str) -> None:
+        """Give the watchdog a chance to interrupt between work units."""
+        if self.watchdog is not None:
+            self.watchdog(point)
 
     # ------------------------------------------------------------------
     # Topology
@@ -505,7 +527,10 @@ class AllocatorRuntime:
     # The epoch pipeline
     # ------------------------------------------------------------------
     def advance(
-        self, events: Sequence[ChurnEvent] = ()
+        self, events: Sequence[ChurnEvent] = (),
+        *,
+        freeze_admission: bool = False,
+        clamp_basic: bool = False,
     ) -> EpochRecord:
         """Run one epoch; returns the committed record.
 
@@ -514,12 +539,24 @@ class AllocatorRuntime:
         opens its own ``runtime.phase.*`` child inside.  Wall latency
         of the complete epoch feeds the ``runtime.epoch.latency_ms``
         histogram the SLO report summarizes.
+
+        The keyword flags are the overload ladder's hooks (both default
+        off, leaving the epoch byte-identical to historical behaviour):
+        ``freeze_admission`` skips every admission probe — arrivals are
+        queued unprobed under ``REASON_OVERLOAD`` and the waiting queue
+        is not retried; ``clamp_basic`` skips the LP entirely and
+        commits the Sec. II-D basic floors through the capacity
+        governor (status ``overload-clamp``).
         """
         epoch = self.epoch + 1
         t0 = time.perf_counter()
         with phase_timer("runtime.epoch"), \
                 span("runtime.epoch", epoch=epoch) as epoch_span:
-            staged = self._stage(epoch, events)
+            staged = self._stage(
+                epoch, events,
+                freeze_admission=freeze_admission,
+                clamp_basic=clamp_basic,
+            )
             if self.crash_hook is not None:
                 self.crash_hook("staged", epoch)
             with phase_timer("runtime.phase.commit"), \
@@ -579,7 +616,8 @@ class AllocatorRuntime:
         return dict(self.shares)
 
     # -- staging --------------------------------------------------------
-    def _stage(self, epoch: int, events: Sequence[ChurnEvent]):
+    def _stage(self, epoch: int, events: Sequence[ChurnEvent],
+               freeze_admission: bool = False, clamp_basic: bool = False):
         active = set(self.active)
         down_links = set(self.down_links)
         down_nodes = set(self.down_nodes)
@@ -592,6 +630,7 @@ class AllocatorRuntime:
         # Phase 1 — APPLY: fold the event batch into the staged sets.
         with phase_timer("runtime.phase.apply"), \
                 span("runtime.phase.apply") as apply_span:
+            self._tick("apply")
             for ev in sorted(events, key=ChurnEvent.sort_key):
                 ok = True
                 if ev.kind in ("node-up", "node-down"):
@@ -631,6 +670,7 @@ class AllocatorRuntime:
         # (cache hit or full rebuild).
         with phase_timer("runtime.phase.diff"), \
                 span("runtime.phase.diff") as diff_span:
+            self._tick("diff")
             topo = self._topology(down_links, down_nodes)
             diff_span.tag(
                 pristine=topo.pristine,
@@ -642,6 +682,7 @@ class AllocatorRuntime:
         # carry, then shrink newest-first until the floors fit.
         with phase_timer("runtime.phase.suspend"), \
                 span("runtime.phase.suspend") as suspend_span:
+            self._tick("suspend")
             suspended: List[str] = []
             for fid in sorted(active & set(topo.unroutable),
                               key=self._base_index.get):
@@ -686,33 +727,50 @@ class AllocatorRuntime:
         # epoch's arrivals; publish queue-state gauges afterwards.
         with phase_timer("runtime.phase.admit"), \
                 span("runtime.phase.admit") as admit_span:
-            for fid in list(self.admission.waiting):
-                if fid in active:
-                    self.admission.drop_waiting(fid)
-                    continue
-                if fid in suspended:
-                    continue  # just parked this epoch; retry next one
-                reason, _details = self._admission_reason(topo, active,
-                                                          fid)
-                if reason == REASON_OK:
-                    self.admission.readmit(fid, epoch)
-                    active.add(fid)
-                    admitted[fid] = epoch
-            for fid in arrivals:
-                reason, details = self._admission_reason(topo, active,
-                                                         fid)
-                decision = self.admission.decide(fid, epoch, reason,
-                                                 details)
-                if decision.action == ADMIT:
-                    active.add(fid)
-                    admitted[fid] = epoch
+            self._tick("admit")
+            if self.admission.max_queue_age is not None:
+                self.admission.evict_aged(epoch)
+            if freeze_admission:
+                # Overload freeze rung: no feasibility probes at all.
+                # Arrivals pile into the bounded queue (overflow becomes
+                # REASON_QUEUE_FULL rejects) and the waiting queue is
+                # not retried — the next healthy epoch drains it.
+                for fid in arrivals:
+                    self.admission.decide(
+                        fid, epoch, REASON_OVERLOAD,
+                        "admission frozen under overload shedding",
+                    )
+                incr("runtime.epoch.frozen_arrivals", len(arrivals))
+            else:
+                for fid in list(self.admission.waiting):
+                    self._tick("admit")
+                    if fid in active:
+                        self.admission.drop_waiting(fid)
+                        continue
+                    if fid in suspended:
+                        continue  # just parked this epoch; retry next one
+                    reason, _details = self._admission_reason(topo, active,
+                                                              fid)
+                    if reason == REASON_OK:
+                        self.admission.readmit(fid, epoch)
+                        active.add(fid)
+                        admitted[fid] = epoch
+                for fid in arrivals:
+                    self._tick("admit")
+                    reason, details = self._admission_reason(topo, active,
+                                                             fid)
+                    decision = self.admission.decide(fid, epoch, reason,
+                                                     details)
+                    if decision.action == ADMIT:
+                        active.add(fid)
+                        admitted[fid] = epoch
             self.admission.observe_queue(epoch)
             admit_span.tag(arrivals=len(arrivals),
                            queue_depth=len(self.admission.waiting))
 
         # Phases 5–7 — SOLVE / DAMPEN / VALIDATE live in _solve.
         shares, status, checks, convergence, damped, fallback = (
-            self._solve(epoch, topo, active)
+            self._solve(epoch, topo, active, clamp_basic=clamp_basic)
         )
 
         record = EpochRecord(
@@ -736,12 +794,14 @@ class AllocatorRuntime:
 
     # -- solving --------------------------------------------------------
     def _solve(
-        self, epoch: int, topo: _TopologyState, active: Set[str]
+        self, epoch: int, topo: _TopologyState, active: Set[str],
+        clamp_basic: bool = False,
     ):
         # Phase 5 — SOLVE: memo hit, centralized warm/cold LP, or full
         # 2PA-D, tagged with the path taken.
         with phase_timer("runtime.phase.solve"), \
                 span("runtime.phase.solve") as solve_span:
+            self._tick("solve")
             ids = topo.ordered(active)
             if not ids:
                 solve_span.tag(path="empty", flows=0)
@@ -758,7 +818,20 @@ class AllocatorRuntime:
             memo_key = (topo.key_str, frozenset(ids))
             convergence: Dict[str, object] = {}
 
-            if self._shard is not None and self.config.mode == "centralized":
+            if clamp_basic:
+                # Overload clamp rung: skip the LP, hand every flow its
+                # Sec. II-D basic share through the floor-aware capacity
+                # governor — O(cliques) work, feasible by the admission
+                # predicate, the ladder's terminal safe state.
+                clamp_floors = global_basic_shares(analysis)
+                with phase_timer("runtime.alloc.clamp"):
+                    raw, _clamped = enforce_clique_capacity(
+                        analysis, dict(clamp_floors), floors=clamp_floors
+                    )
+                status = "overload-clamp"
+                incr("runtime.epoch.overload_clamps")
+                solve_span.tag(path="overload-clamp")
+            elif self._shard is not None and self.config.mode == "centralized":
                 # Component-sharded path: the per-component memo keyed
                 # by structural fingerprint subsumes the global memo
                 # (an unchanged epoch is all reuse, no dirty solves).
@@ -854,6 +927,7 @@ class AllocatorRuntime:
         # cleared floor, re-governed for clique capacity when it bites.
         with phase_timer("runtime.phase.dampen"), \
                 span("runtime.phase.dampen") as dampen_span:
+            self._tick("dampen")
             shares = dict(raw)
             floors = global_basic_shares(analysis)
             damped = False
@@ -884,6 +958,7 @@ class AllocatorRuntime:
         # the floor allocation when the solved shares fail.
         with phase_timer("runtime.phase.validate"), \
                 span("runtime.phase.validate") as validate_span:
+            self._tick("validate")
             checks: List[List] = []
             fallback = False
             if self.config.validate:
@@ -937,6 +1012,39 @@ class AllocatorRuntime:
             queued=len(record.queued),
             damped=record.damped,
             fallback_basic=record.fallback_basic,
+        )
+        if self.crash_hook is not None:
+            self.crash_hook("pre-checkpoint", record.epoch)
+        if self.config.checkpoint_path is not None:
+            self.save(self.config.checkpoint_path)
+
+    def commit_carryover(self, record: EpochRecord) -> None:
+        """Commit an epoch that *reuses* the last validated allocation.
+
+        The overload layer calls this after a deadline breach: the
+        aborted epoch computed nothing trustworthy, so the committed
+        active set, shares, and topology stay exactly as they were —
+        only the epoch index moves and the journal gains the breach
+        record.  Checkpointing and commit telemetry behave like a
+        normal commit, so restore-and-replay sees the breach too.
+        """
+        if record.epoch != self.epoch + 1:
+            raise ValueError(
+                f"carryover epoch {record.epoch} is not the successor "
+                f"of committed epoch {self.epoch}"
+            )
+        self.epoch = record.epoch
+        self.journal.append(record)
+        incr("runtime.epoch.count")
+        incr("runtime.epoch.committed")
+        emit_event(
+            "epoch.commit",
+            epoch=record.epoch,
+            status=record.status,
+            active=len(record.active),
+            queued=len(record.queued),
+            damped=False,
+            fallback_basic=False,
         )
         if self.crash_hook is not None:
             self.crash_hook("pre-checkpoint", record.epoch)

@@ -1,4 +1,5 @@
-"""Traffic generation: CBR sources (the paper's workload)."""
+"""Traffic generation: CBR sources (the paper's workload) and open-loop
+Poisson arrivals with heavy-tailed service times (the overload workload)."""
 
 from .cbr import (
     DEFAULT_PACKET_BYTES,
@@ -6,10 +7,22 @@ from .cbr import (
     US,
     CbrSource,
 )
+from .openloop import (
+    ArrivalTrace,
+    FlowArrival,
+    OpenLoopConfig,
+    draw_arrival_trace,
+    drive_batch_engine,
+)
 
 __all__ = [
+    "ArrivalTrace",
     "CbrSource",
     "DEFAULT_PACKETS_PER_SECOND",
     "DEFAULT_PACKET_BYTES",
+    "FlowArrival",
+    "OpenLoopConfig",
     "US",
+    "draw_arrival_trace",
+    "drive_batch_engine",
 ]

@@ -1,0 +1,249 @@
+"""Open-loop heavy traffic: Poisson flow arrivals with heavy-tailed sizes.
+
+The paper's CBR workload (``cbr.py``) keeps a *fixed* flow set backlogged
+— the greedy assumption of Sec. II-C.  A production allocator instead
+faces an open-loop arrival process: finite flows arrive whether or not
+the allocator keeps up, hold their route for a heavy-tailed service time,
+and depart.  This module draws such workloads as seeded, replayable
+:class:`ArrivalTrace` objects following the same draw/shrink/serialize
+discipline as :class:`~repro.resilience.epochs.ChurnTimeline`, so the
+fuzzer can shrink a failing trace and a reproducer JSON can replay it
+bit-for-bit.
+
+Arrival counts per epoch are Poisson with an optional diurnal modulation
+(a sinusoid over ``diurnal_period`` epochs); flow sizes and service
+durations are Pareto — the classic heavy-tailed mix that makes overload
+bursty rather than smooth.  All draws come from one ``RngRegistry``
+stream in a fixed order, independent of outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrivalTrace",
+    "FlowArrival",
+    "OpenLoopConfig",
+    "draw_arrival_trace",
+    "drive_batch_engine",
+]
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One finite flow arriving at ``epoch`` from the scenario universe.
+
+    ``size_mb`` is the abstract transfer size (reported, not simulated);
+    ``duration`` is the service time in epochs once the flow is admitted
+    — the allocator keeps it active for that long before it departs.
+    """
+
+    epoch: int
+    flow: str
+    duration: int = 1
+    size_mb: float = 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "flow": self.flow,
+            "duration": self.duration,
+            "size_mb": self.size_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FlowArrival":
+        return cls(
+            epoch=int(doc["epoch"]),
+            flow=str(doc["flow"]),
+            duration=int(doc.get("duration", 1)),
+            size_mb=float(doc.get("size_mb", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """Knobs for :func:`draw_arrival_trace`.
+
+    ``rate`` is the mean arrivals per epoch.  ``tail_shape`` is the
+    Pareto index shared by size and duration draws — must exceed 1 so
+    the means exist (2.5 keeps the variance finite but the tail heavy).
+    ``diurnal_amplitude`` in [0, 1) modulates the rate sinusoidally over
+    ``diurnal_period`` epochs; 0 disables the load curve.
+    """
+
+    rate: float = 2.0
+    duration_mean: float = 4.0
+    size_mean_mb: float = 1.0
+    tail_shape: float = 2.5
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 24
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.tail_shape <= 1.0:
+            raise ValueError("tail_shape must exceed 1 for finite means")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period < 1:
+            raise ValueError("diurnal_period must be positive")
+
+    def rate_at(self, epoch: int) -> float:
+        """Offered rate at ``epoch`` after diurnal modulation."""
+        if self.diurnal_amplitude == 0.0:
+            return self.rate
+        phase = 2.0 * math.pi * (epoch % self.diurnal_period) / self.diurnal_period
+        return self.rate * (1.0 + self.diurnal_amplitude * math.sin(phase))
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A replayable open-loop workload over ``epochs`` epochs."""
+
+    epochs: int
+    arrivals: Tuple[FlowArrival, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("trace must span at least one epoch")
+        last = -1
+        for arrival in self.arrivals:
+            if not 0 <= arrival.epoch < self.epochs:
+                raise ValueError(
+                    f"arrival at epoch {arrival.epoch} outside horizon {self.epochs}"
+                )
+            if arrival.epoch < last:
+                raise ValueError("arrivals must be sorted by epoch")
+            last = arrival.epoch
+            if arrival.duration < 1:
+                raise ValueError("arrival duration must be at least one epoch")
+
+    def arrivals_at(self, epoch: int) -> List[FlowArrival]:
+        return [a for a in self.arrivals if a.epoch == epoch]
+
+    @property
+    def offered(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def mean_rate(self) -> float:
+        return len(self.arrivals) / self.epochs
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epochs": self.epochs,
+            "arrivals": [a.to_dict() for a in self.arrivals],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "ArrivalTrace":
+        return cls(
+            epochs=int(doc["epochs"]),
+            arrivals=tuple(
+                FlowArrival.from_dict(a) for a in doc.get("arrivals", [])
+            ),
+        )
+
+    def shrink_candidates(self) -> Iterator["ArrivalTrace"]:
+        """Smaller traces, most to least aggressive (fuzzer shrinking)."""
+        if self.arrivals:
+            yield replace(self, arrivals=())
+        last_epoch = max((a.epoch for a in self.arrivals), default=0)
+        if last_epoch + 1 < self.epochs:
+            yield replace(self, epochs=last_epoch + 1)
+        used = sorted({a.epoch for a in self.arrivals})
+        if len(used) > 1:
+            for epoch in used:
+                yield replace(
+                    self,
+                    arrivals=tuple(a for a in self.arrivals if a.epoch != epoch),
+                )
+        if len(self.arrivals) > 1:
+            for idx in range(len(self.arrivals)):
+                yield replace(
+                    self,
+                    arrivals=self.arrivals[:idx] + self.arrivals[idx + 1 :],
+                )
+
+
+def draw_arrival_trace(
+    rng: np.random.Generator,
+    flow_ids: Sequence[str],
+    epochs: int,
+    config: OpenLoopConfig = OpenLoopConfig(),
+) -> ArrivalTrace:
+    """Draw a seeded trace; fixed draw order independent of outcomes.
+
+    Per epoch: one Poisson count draw, then (flow index, size, duration)
+    per arrival.  The draw order never depends on what earlier draws
+    produced beyond the counts themselves, matching the registry's
+    stream discipline so co-drawn plans are unperturbed.
+    """
+    if not flow_ids:
+        raise ValueError("flow universe must be non-empty")
+    ids = sorted(flow_ids)
+    # With Pareto index a, E[1 + scale·pareto(a)] = 1 + scale/(a-1): pick
+    # the scales so the configured means are hit exactly.
+    shape = config.tail_shape
+    duration_scale = max(0.0, (config.duration_mean - 1.0) * (shape - 1.0))
+    size_scale = config.size_mean_mb * (shape - 1.0)
+    arrivals: List[FlowArrival] = []
+    for epoch in range(epochs):
+        count = int(rng.poisson(config.rate_at(epoch)))
+        for _ in range(count):
+            idx = int(rng.integers(0, len(ids)))
+            size = size_scale * float(rng.pareto(shape)) if size_scale else 0.0
+            duration = 1 + int(duration_scale * float(rng.pareto(shape)))
+            arrivals.append(
+                FlowArrival(
+                    epoch=epoch,
+                    flow=ids[idx],
+                    duration=duration,
+                    size_mb=round(size, 6),
+                )
+            )
+    return ArrivalTrace(epochs=epochs, arrivals=tuple(arrivals))
+
+
+def drive_batch_engine(engine, trace: ArrivalTrace) -> Dict[str, int]:
+    """Replay a trace against a :class:`BatchAllocationEngine`.
+
+    Registers each epoch's arrivals as one batch, allocates, and releases
+    flows whose service time has elapsed.  Arrivals for flows already
+    registered are counted as duplicates and skipped (open-loop traffic
+    can re-offer a busy flow).  Returns offered/admitted/rejected/
+    duplicate/released tallies.
+    """
+    service_until: Dict[str, int] = {}
+    tally = {"offered": 0, "admitted": 0, "rejected": 0,
+             "duplicate": 0, "released": 0}
+    for epoch in range(trace.epochs):
+        done = sorted(f for f, until in service_until.items() if until <= epoch)
+        if done:
+            engine.release(done)
+            for fid in done:
+                del service_until[fid]
+            tally["released"] += len(done)
+        batch = []
+        durations: Dict[str, int] = {}
+        for arrival in trace.arrivals_at(epoch):
+            tally["offered"] += 1
+            if arrival.flow in engine.active or arrival.flow in durations:
+                tally["duplicate"] += 1
+                continue
+            batch.append(arrival.flow)
+            durations[arrival.flow] = arrival.duration
+        for decision in engine.register(batch) if batch else []:
+            if decision.action == "admit":
+                service_until[decision.flow_id] = epoch + durations[decision.flow_id]
+                tally["admitted"] += 1
+            else:
+                tally["rejected"] += 1
+        engine.allocate()
+    return tally

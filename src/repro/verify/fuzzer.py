@@ -118,6 +118,7 @@ class VerificationSuite:
         churn: bool = False,
         backend: str = "simplex",
         sharded: bool = False,
+        overload: bool = False,
     ) -> None:
         self.brute_force_max_vertices = brute_force_max_vertices
         self.lp_tol = lp_tol
@@ -136,6 +137,12 @@ class VerificationSuite:
         #: distributed-lossy modes — ``repro verify --sharded``.  Every
         #: comparison is bitwise (``==`` on floats): sharding is exact.
         self.sharded = sharded
+        #: Also run each case through the overload-protected runtime
+        #: under an open-loop heavy-traffic arrival trace with forced
+        #: deadline stalls and an adversarial fault plan (arrival
+        #: bursts; worker faults ride along in the reproducer) —
+        #: ``repro verify --overload``.
+        self.overload = overload
         #: Float LP solver under test (``repro verify --backend``): every
         #: allocation the suite checks and the float side of the
         #: ``lp.float_vs_exact`` oracle run on this backend.
@@ -410,6 +417,43 @@ class VerificationSuite:
         ]
 
     # ------------------------------------------------------------------
+    def overload_outcomes(
+        self,
+        scenario: Scenario,
+        trace,
+        plan,
+        seed: int,
+        index: int,
+    ) -> List[CheckOutcome]:
+        """Run ``scenario`` under open-loop overload with forced stalls.
+
+        Reuses :func:`repro.resilience.campaign.run_overload_case` —
+        deadline-bounded epochs, the graduated shedding ladder, bounded
+        admission queue with age eviction — at ``jobs=1`` (worker faults
+        in ``plan`` are inert in-process; its arrival bursts are live).
+        Two early epochs run with an already-expired watchdog so the
+        breach path and the ``overload.breach_recorded`` pairing
+        invariant are exercised on *every* case, deterministically — no
+        wall-clock dependence.
+        """
+        from ..resilience.campaign import run_overload_case
+
+        with phase_timer("verify.overload"):
+            case = run_overload_case(
+                scenario, trace,
+                seed=seed,
+                plan=plan,
+                hysteresis=0.3,
+                max_queue_age=4,
+                stall_epochs=2,
+                fault=self.fault,
+            )
+        return [
+            CheckOutcome(name, PASS if ok else FAIL, details)
+            for name, ok, details in case.checks
+        ]
+
+    # ------------------------------------------------------------------
     def _allocation_checks(
         self,
         label: str,
@@ -601,10 +645,13 @@ class FuzzFailure:
     scenario: Dict[str, object]          # original (serialized)
     shrunk: Dict[str, object]            # minimal reproducer (serialized)
     reproducer_path: Optional[str] = None
-    #: Serialized (shrunk) fault plan for ``faults.*`` failures.
+    #: Serialized (shrunk) fault plan for ``faults.*`` failures (also
+    #: carries the shrunk overload plan for ``overload.*`` failures).
     fault_plan: Optional[Dict[str, object]] = None
     #: Serialized (shrunk) churn timeline for ``churn.*`` failures.
     churn_timeline: Optional[Dict[str, object]] = None
+    #: Serialized (shrunk) arrival trace for ``overload.*`` failures.
+    arrival_trace: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -616,6 +663,7 @@ class FuzzFailure:
             "reproducer_path": self.reproducer_path,
             "fault_plan": self.fault_plan,
             "churn_timeline": self.churn_timeline,
+            "arrival_trace": self.arrival_trace,
         }
 
 
@@ -732,6 +780,27 @@ def _run_case(
             outcomes = outcomes + suite.churn_outcomes(
                 scenario, timeline, seed, index
             )
+        trace = None
+        overload_plan = None
+        if suite.overload:
+            from ..resilience.faults import FaultPlan
+            from ..traffic.openloop import (
+                OpenLoopConfig, draw_arrival_trace,
+            )
+
+            trace = draw_arrival_trace(
+                registry.stream(("verify", index, "overload")),
+                list(scenario.flow_ids), 10,
+                OpenLoopConfig(rate=3.0),
+            )
+            overload_plan = FaultPlan.draw(
+                registry.stream(("verify", index, "overload-plan")),
+                nodes=scenario.network.nodes,
+                overload=True,
+            )
+            outcomes = outcomes + suite.overload_outcomes(
+                scenario, trace, overload_plan, seed, index
+            )
     incr("verify.cases")
     failed = [o for o in outcomes if o.failed]
     if not failed:
@@ -739,10 +808,12 @@ def _run_case(
     first = failed[0]
     faults_check = first.name.startswith("faults.")
     churn_check = first.name.startswith("churn.")
+    overload_check = first.name.startswith("overload.")
     lp_check = first.name.startswith("lp.")
 
     def fails_with(candidate: Scenario, candidate_plan,
-                   candidate_timeline) -> bool:
+                   candidate_timeline, candidate_trace=None,
+                   candidate_overload_plan=None) -> bool:
         if faults_check:
             outs = suite.fault_outcomes(
                 candidate, candidate_plan, seed, index
@@ -750,6 +821,14 @@ def _run_case(
         elif churn_check:
             outs = suite.churn_outcomes(
                 candidate, candidate_timeline, seed, index
+            )
+        elif overload_check:
+            outs = suite.overload_outcomes(
+                candidate,
+                candidate_trace if candidate_trace is not None else trace,
+                candidate_overload_plan
+                if candidate_overload_plan is not None else overload_plan,
+                seed, index,
             )
         elif lp_check:
             # LP-only failures shrink against the LP checks alone — no
@@ -795,16 +874,54 @@ def _run_case(
                             break
                     except Exception:
                         continue
+        if overload_check and trace is not None:
+            # Shrink the arrival trace first (drop arrivals, truncate
+            # the horizon), then the fault plan (drop bursts and worker
+            # faults), while the same check keeps failing.
+            progress = True
+            while progress:
+                progress = False
+                for candidate_trace in trace.shrink_candidates():
+                    try:
+                        if fails_with(minimal, plan, timeline,
+                                      candidate_trace=candidate_trace):
+                            trace = candidate_trace
+                            progress = True
+                            break
+                    except Exception:
+                        continue
+            if overload_plan is not None:
+                progress = True
+                while progress:
+                    progress = False
+                    for cand in overload_plan.shrink_candidates():
+                        try:
+                            if fails_with(
+                                minimal, plan, timeline,
+                                candidate_overload_plan=cand,
+                            ):
+                                overload_plan = cand
+                                progress = True
+                                break
+                        except Exception:
+                            continue
+    if faults_check and plan is not None:
+        plan_doc = plan.to_dict()
+    elif overload_check and overload_plan is not None:
+        plan_doc = overload_plan.to_dict()
+    else:
+        plan_doc = None
     failure = FuzzFailure(
         case=index,
         check=first.name,
         details=first.details,
         scenario=scenario_to_dict(scenario),
         shrunk=scenario_to_dict(minimal),
-        fault_plan=plan.to_dict() if faults_check and plan is not None
-        else None,
+        fault_plan=plan_doc,
         churn_timeline=timeline.to_dict()
         if churn_check and timeline is not None else None,
+        arrival_trace=trace.to_dict()
+        if overload_check and trace is not None else None,
     )
     return outcomes, failure
 
@@ -828,6 +945,7 @@ def run_fuzz(
     churn: bool = False,
     backend: str = "simplex",
     sharded: bool = False,
+    overload: bool = False,
 ) -> FuzzReport:
     """Run ``cases`` seeded scenarios through the verification suite.
 
@@ -866,6 +984,16 @@ def run_fuzz(
     sharded-vs-monolithic runtime journals in centralized and
     distributed-lossy modes — asserting bitwise identity throughout
     (``sharded.*`` checks).
+
+    ``overload=True`` additionally drives every case through the
+    overload-protected runtime under an open-loop arrival trace from
+    stream ``("verify", i, "overload")`` and a fault plan (arrival
+    bursts, worker faults) from ``("verify", i, "overload-plan")``, with
+    two forced deadline stalls per case so the breach machinery is
+    always exercised (``overload.*`` checks, including the
+    no-breach-without-staleness-record pairing).  On failure the arrival
+    trace is shrunk first, then the plan; both land in the reproducer
+    (``arrival_trace`` / ``fault_plan``).
     """
     fault = inject_share_fault if inject_fault else None
     suite = VerificationSuite(
@@ -876,6 +1004,7 @@ def run_fuzz(
         churn=churn,
         backend=backend,
         sharded=sharded,
+        overload=overload,
     )
     report = FuzzReport(cases=cases, seed=seed, inject_fault=inject_fault,
                         backend=backend, sharded=sharded)
@@ -931,5 +1060,7 @@ def _write_reproducer(
         doc["fault_plan"] = failure.fault_plan
     if failure.churn_timeline is not None:
         doc["churn_timeline"] = failure.churn_timeline
+    if failure.arrival_trace is not None:
+        doc["arrival_trace"] = failure.arrival_trace
     path.write_text(json.dumps(doc, indent=2, sort_keys=True))
     return str(path)

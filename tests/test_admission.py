@@ -22,6 +22,7 @@ from repro.resilience import (
 from repro.resilience.admission import (
     REASON_FLOOR,
     REASON_OK,
+    REASON_QUEUE_AGED,
     REASON_QUEUE_FULL,
     REASON_UNROUTABLE,
 )
@@ -137,3 +138,69 @@ class TestAdmissionController:
         assert clone.snapshot() == snap
         assert list(clone.waiting) == list(controller.waiting)
         assert clone.decisions == controller.decisions
+
+
+class TestAgedEviction:
+    def test_no_age_bound_is_a_noop(self):
+        controller = AdmissionController()
+        controller.decide("f1", 0, REASON_FLOOR)
+        assert controller.evict_aged(100) == []
+        assert list(controller.waiting) == ["f1"]
+
+    def test_eviction_fires_strictly_above_the_bound(self):
+        controller = AdmissionController(max_queue_age=2)
+        controller.decide("f1", 0, REASON_FLOOR)
+        assert controller.evict_aged(2) == []  # age 2 == bound: kept
+        (decision,) = controller.evict_aged(3)  # age 3 > bound: shed
+        assert decision.action == REJECT
+        assert decision.reason == REASON_QUEUE_AGED
+        assert "waited 3 epochs" in decision.details
+        assert not controller.waiting
+        assert "f1" not in controller.queued_epoch
+
+    def test_max_age_zero_allows_exactly_one_retry_epoch(self):
+        controller = AdmissionController(max_queue_age=0)
+        controller.decide("f1", 5, REASON_FLOOR)
+        assert controller.evict_aged(5) == []  # the queuing epoch itself
+        assert len(controller.evict_aged(6)) == 1
+
+    def test_override_tightens_the_configured_bound(self):
+        """The overload ladder passes ``max_age`` explicitly; it must
+        win over the (looser) configured bound."""
+        controller = AdmissionController(max_queue_age=10)
+        controller.decide("f1", 0, REASON_FLOOR)
+        assert controller.evict_aged(4) == []
+        assert len(controller.evict_aged(4, max_age=1)) == 1
+
+    def test_only_overaged_flows_are_shed(self):
+        controller = AdmissionController(max_queue_age=1)
+        controller.decide("old", 0, REASON_FLOOR)
+        controller.decide("young", 3, REASON_FLOOR)
+        evicted = controller.evict_aged(4)
+        assert [d.flow_id for d in evicted] == ["old"]
+        assert list(controller.waiting) == ["young"]
+
+    def test_eviction_is_counted(self):
+        from repro.obs import MetricsRegistry
+        from repro.obs.registry import using_registry
+
+        with using_registry(MetricsRegistry()) as reg:
+            controller = AdmissionController(max_queue_age=0)
+            controller.decide("f1", 0, REASON_FLOOR)
+            controller.decide("f2", 0, REASON_FLOOR)
+            assert len(controller.evict_aged(2)) == 2
+            assert reg.counters["admission.evicted"].value == 2
+            assert reg.counters[f"admission.{REJECT}"].value == 2
+
+    def test_snapshot_restore_preserves_queue_ages(self):
+        controller = AdmissionController(max_queue_age=3)
+        controller.decide("f1", 0, REASON_FLOOR)
+        controller.decide("f2", 2, REASON_UNROUTABLE)
+        snap = controller.snapshot()
+
+        clone = AdmissionController(max_queue_age=3)
+        clone.restore(snap)
+        assert clone.queued_epoch == controller.queued_epoch
+        # The restored clone sheds on the same epoch the original would.
+        assert [d.flow_id for d in clone.evict_aged(4)] == ["f1"]
+        assert [d.flow_id for d in controller.evict_aged(4)] == ["f1"]

@@ -141,7 +141,8 @@ class TestVerifyCli:
         assert doc["seed"] == 0
         assert doc["config"] == {"cases": 5, "inject_fault": False,
                                  "faults": False, "churn": False,
-                                 "backend": "simplex", "sharded": False}
+                                 "backend": "simplex", "sharded": False,
+                                 "overload": False}
         assert doc["results"]["ok"] is True
         assert doc["results"]["failures"] == []
         counters = doc["metrics"]["counters"]

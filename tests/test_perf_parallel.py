@@ -108,3 +108,119 @@ class TestSweepBitIdentity:
         parallel = random_scenario_sweep(params, jobs=2)
         assert [scenario_to_dict(s) for s in serial] == \
             [scenario_to_dict(s) for s in parallel]
+
+
+# ---------------------------------------------------------------------------
+# Guarded sweep: crash/hang detection, bounded retry, serial fallback.
+# The fault helpers are module-level (pool workers must pickle them) and
+# count attempts in a token file so behaviour survives worker restarts.
+# ---------------------------------------------------------------------------
+
+def _attempt(token_path):
+    import os
+
+    with open(os.fspath(token_path), "a+", encoding="utf-8") as fh:
+        fh.seek(0)
+        prior = sum(1 for _ in fh)
+        fh.write("x\n")
+        fh.flush()
+    return prior
+
+
+def square_payload(payload):
+    _token, x = payload
+    return x * x
+
+
+def hang_once(payload):
+    import time
+
+    token, x = payload
+    if x == 0 and _attempt(token) < 1:
+        time.sleep(30)
+    return x * x
+
+
+def crash_once(payload):
+    import os
+
+    token, x = payload
+    if x == 0 and _attempt(token) < 1:
+        os._exit(23)
+    return x * x
+
+
+def crash_always(payload):
+    import os
+
+    _token, x = payload
+    if x == 0:
+        os._exit(23)
+    return x * x
+
+
+def fail_on_even(x):
+    if x % 2 == 0:
+        raise ValueError(f"bad item {x}")
+    return x
+
+
+class TestGuardedFaultTolerance:
+    def test_no_fault_guarded_run_matches_classic(self):
+        items = list(range(8))
+        classic = ParallelSweep(2).map(square, items)
+        guarded = ParallelSweep(2, task_timeout=30.0, task_retries=2).map(
+            square, items, serial_fn=square
+        )
+        assert guarded == classic == [x * x for x in items]
+
+    def test_hung_task_times_out_and_retries(self, tmp_path):
+        token = str(tmp_path / "hang.tokens")
+        items = [(token, x) for x in range(3)]
+        sweep = ParallelSweep(2, task_timeout=0.5, task_retries=2)
+        with using_registry() as reg:
+            out = sweep.map(hang_once, items, serial_fn=square_payload)
+        assert out == [0, 1, 4]
+        assert reg.counters["perf.parallel.task_timeouts"].value >= 1
+        assert reg.counters["perf.parallel.task_retries"].value >= 1
+
+    def test_crashed_worker_is_detected_and_retried(self, tmp_path):
+        token = str(tmp_path / "crash.tokens")
+        items = [(token, x) for x in range(3)]
+        sweep = ParallelSweep(2, task_timeout=30.0, task_retries=2)
+        with using_registry() as reg:
+            out = sweep.map(crash_once, items, serial_fn=square_payload)
+        assert out == [0, 1, 4]
+        assert reg.counters["perf.parallel.task_crashes"].value >= 1
+        assert reg.counters["perf.parallel.task_retries"].value >= 1
+
+    def test_exhausted_retries_use_serial_fallback(self, tmp_path):
+        token = str(tmp_path / "always.tokens")
+        items = [(token, x) for x in range(3)]
+        sweep = ParallelSweep(2, task_timeout=30.0, task_retries=1,
+                              retry_backoff_s=0.01)
+        with using_registry() as reg:
+            out = sweep.map(crash_always, items, serial_fn=square_payload)
+        assert out == [0, 1, 4]
+        assert reg.counters["perf.parallel.serial_fallbacks"].value >= 1
+
+    def test_task_exception_is_not_retried_and_raises_lowest_index(self):
+        sweep = ParallelSweep(2, task_timeout=30.0, task_retries=3)
+        with using_registry() as reg:
+            try:
+                sweep.map(fail_on_even, [1, 2, 3, 4], serial_fn=fail_on_even)
+            except ValueError as exc:
+                assert str(exc) == "bad item 2"  # lowest failing index
+            else:
+                raise AssertionError("expected ValueError")
+            assert "perf.parallel.task_retries" not in reg.counters
+
+    def test_serial_jobs_with_serial_fn_stays_in_process(self):
+        """jobs=1 never spins a pool even on the guarded path."""
+        with using_registry() as reg:
+            out = ParallelSweep(1, task_timeout=1.0).map(
+                square, [1, 2, 3], serial_fn=square
+            )
+        assert out == [1, 4, 9]
+        assert reg.counters["perf.parallel.serial_runs"].value == 1
+        assert "perf.parallel.pool_runs" not in reg.counters
